@@ -1,0 +1,51 @@
+"""Experiment F1 — Figure 1 behaviour: the iterative-deletion router.
+
+Figure 1 of the paper is the ID algorithm itself.  The behavioural properties
+to reproduce are: every net connection graph is reduced to a tree spanning
+its pins, and with gamma >> alpha, beta in Formula 2 the final solution has
+essentially no overflow.  The benchmark also compares the GSINO weight
+configuration (shield reservation on) against the baseline configuration to
+show the reservation's effect on the shield-aware utilisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ibm import generate_circuit
+from repro.grid.congestion import CongestionMap
+from repro.router.iterative_deletion import route_netlist
+from repro.router.weights import WeightConfig
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+@pytest.mark.parametrize("reserve_shields", [False, True], ids=["baseline", "reserving"])
+def test_id_router_properties(benchmark, reserve_shields):
+    """Route a mid-size instance and verify the ID invariants."""
+    circuit = generate_circuit("ibm03", sensitivity_rate=0.3, scale=BENCH_SCALE, seed=BENCH_SEED)
+
+    def run():
+        return route_netlist(
+            circuit.grid,
+            circuit.netlist,
+            config=WeightConfig(reserve_shields=reserve_shields),
+        )
+
+    solution, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    congestion = CongestionMap.from_solution(solution)
+
+    benchmark.extra_info["nets"] = circuit.netlist.num_nets
+    benchmark.extra_info["deleted_edges"] = report.deleted_edges
+    benchmark.extra_info["max_density"] = round(congestion.max_density(), 3)
+    benchmark.extra_info["total_overflow"] = congestion.total_overflow()
+    benchmark.extra_info["avg_wirelength_um"] = round(solution.average_wirelength_um(), 1)
+
+    # Figure 1 invariant: every connection graph ends as a pin-spanning tree.
+    assert solution.all_trees_valid()
+    # gamma = 50 makes overflow essentially disappear.
+    assert congestion.total_overflow() <= 0.02 * circuit.netlist.num_nets
+    # Routed length stays near the profile's published average net length.
+    assert solution.average_wirelength_um() == pytest.approx(
+        circuit.profile.average_net_length, rel=0.35
+    )

@@ -1,0 +1,55 @@
+"""Experiment A1 — Section 4 discussion: the sensitivity-rate sweep.
+
+The paper observes that going from a 50 % to a 30 % sensitivity rate shrinks
+GSINO's wire-length and routing-area overheads, and argues real designs sit
+below 50 %, so the reported overheads are upper bounds.  This benchmark sweeps
+the rate on one circuit and checks the monotone trend of the overheads and of
+the ID+NO violation count.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ibm import generate_circuit
+from repro.gsino.pipeline import compare_flows
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+RATES = (0.2, 0.3, 0.5)
+
+
+def test_sensitivity_rate_sweep(benchmark, bench_flow_config):
+    """Sweep the sensitivity rate and record how the overheads respond."""
+
+    def run():
+        results = {}
+        for rate in RATES:
+            circuit = generate_circuit(
+                "ibm02", sensitivity_rate=rate, scale=BENCH_SCALE, seed=BENCH_SEED
+            )
+            results[rate] = compare_flows(circuit.grid, circuit.netlist, bench_flow_config)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    violations = {}
+    shields = {}
+    area_overheads = {}
+    for rate, flows in results.items():
+        id_no = flows["id_no"]
+        gsino = flows["gsino"]
+        violations[rate] = id_no.metrics.crosstalk.num_violations
+        shields[rate] = gsino.metrics.total_shields
+        area_overheads[rate] = gsino.metrics.area.overhead_vs(id_no.metrics.area)
+        benchmark.extra_info[f"rate_{int(rate * 100)}"] = (
+            f"viol={violations[rate]} shields={shields[rate]} "
+            f"gsino_area=+{area_overheads[rate] * 100:.1f}%"
+        )
+
+    # More sensitivity -> more ID+NO violations and more GSINO shields.
+    assert violations[0.2] <= violations[0.3] <= violations[0.5]
+    assert shields[0.2] <= shields[0.3] <= shields[0.5]
+    # The GSINO area overhead never decreases when the rate rises 0.3 -> 0.5.
+    assert area_overheads[0.5] >= area_overheads[0.3] - 0.02
+    # And GSINO keeps the design violation-free at every rate.
+    for flows in results.values():
+        assert flows["gsino"].metrics.crosstalk.num_violations == 0

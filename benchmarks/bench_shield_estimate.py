@@ -1,0 +1,44 @@
+"""Experiment M2 — Formula 3: closed-form shield-count estimation accuracy.
+
+The paper fits the six coefficients of Formula 3 against min-area SINO
+solutions and reports estimates within 10 % of the true shield counts.  This
+benchmark reproduces the fitting procedure (against our greedy/annealed SINO
+solutions) and records the achieved accuracy, plus the qualitative property
+the router depends on: regions with more (and more sensitive) nets need more
+shields.
+"""
+
+from __future__ import annotations
+
+from repro.sino.anneal import AnnealConfig
+from repro.sino.estimate import fit_formula3
+
+
+def test_formula3_fit_accuracy(benchmark):
+    """Fit Formula 3 and measure its relative error against observed Nss."""
+
+    def run():
+        return fit_formula3(
+            segment_counts=(2, 4, 6, 8, 10, 12, 16),
+            sensitivity_rates=(0.1, 0.3, 0.5, 0.7, 0.9),
+            samples_per_point=3,
+            effort="anneal",
+            anneal_config=AnnealConfig(iterations=400, seed=3),
+            seed=42,
+        )
+
+    estimator, samples = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info["fit_relative_error"] = round(estimator.fit_relative_error, 3)
+    benchmark.extra_info["num_samples"] = len(samples)
+
+    # The paper achieves <=10 %; the greedy/annealed reproduction is looser but
+    # must stay in a usable regime for area reservation.
+    assert estimator.fit_relative_error < 0.45
+
+    # Qualitative monotonicity used by the ID weight function.
+    sparse = estimator.estimate([0.2] * 6)
+    dense = estimator.estimate([0.7] * 6)
+    big = estimator.estimate([0.7] * 16)
+    assert dense > sparse
+    assert big > dense

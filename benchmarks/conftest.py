@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs a scaled-down instance of the paper's experimental
+setup; the scale is chosen so the whole harness finishes in a few minutes of
+CPU while preserving the per-region statistics (see DESIGN.md §3 and
+EXPERIMENTS.md for the scale used in the recorded results).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+
+#: Benchmark-suite scale relative to the full ISPD'98/IBM designs.
+BENCH_SCALE = 0.025
+
+#: Base random seed of the benchmark instances.
+BENCH_SEED = 7
+
+
+def make_experiment_config(circuits, rates=(0.3, 0.5)) -> ExperimentConfig:
+    """Experiment configuration shared by the table benchmarks."""
+    return ExperimentConfig(
+        circuits=tuple(circuits),
+        sensitivity_rates=tuple(rates),
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_flow_config():
+    """Flow configuration matched to the benchmark scale."""
+    return make_experiment_config(("ibm01",)).flow_config()

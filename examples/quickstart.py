@@ -1,0 +1,76 @@
+"""Quickstart: route a tiny hand-made design with GSINO.
+
+Builds a 4x4 routing grid with a dozen nets, marks some of them as mutually
+sensitive, and runs the full three-phase GSINO flow next to the conventional
+ID+NO baseline.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.grid.nets import Net, Netlist, Pin
+from repro.grid.regions import RoutingGrid
+from repro.gsino import GsinoConfig, compare_flows
+
+
+def build_design() -> tuple:
+    """A 5x3 grid (2000 x 600 um) with a 12-bit bus crossing the chip.
+
+    The twelve nets run the full chip width inside a two-row band and are all
+    mutually sensitive (a classic wide parallel bus) — exactly the situation
+    where a conventional router produces RLC crosstalk violations and GSINO
+    has to insert shields.
+    """
+    grid = RoutingGrid(
+        num_cols=5,
+        num_rows=3,
+        chip_width=2000.0,
+        chip_height=600.0,
+        horizontal_capacity=8,
+        vertical_capacity=8,
+        track_pitch_um=1.0,
+    )
+    nets = []
+    for index in range(12):
+        y_source = 180.0 + index * 20.0
+        y_sink = 420.0 - index * 20.0
+        nets.append(
+            Net(
+                net_id=index,
+                pins=(Pin(40.0, y_source), Pin(1960.0, y_sink)),
+                name=f"bus{index}",
+            )
+        )
+    # Every bus bit is sensitive to every other bit.
+    sensitivity = {i: {j for j in range(12) if j != i} for i in range(12)}
+    netlist = Netlist(nets, sensitivity=sensitivity, name="quickstart")
+    return grid, netlist
+
+
+def main() -> None:
+    grid, netlist = build_design()
+    config = GsinoConfig()  # paper defaults: 0.15 V bound, 0.10 um node
+
+    print(f"Routing {netlist.num_nets} nets on a {grid.num_cols}x{grid.num_rows} grid ...")
+    results = compare_flows(grid, netlist, config)
+
+    print()
+    print(f"{'flow':8s} {'violations':>11s} {'avg WL (um)':>12s} {'shields':>8s} {'area (um^2)':>14s}")
+    for name in ("id_no", "isino", "gsino"):
+        metrics = results[name].metrics
+        print(
+            f"{name:8s} {metrics.crosstalk.num_violations:>11d} "
+            f"{metrics.average_wirelength_um:>12.1f} {metrics.total_shields:>8d} "
+            f"{metrics.area.area:>14.0f}"
+        )
+
+    gsino = results["gsino"]
+    print()
+    print("GSINO phase III report:", gsino.phase3_report)
+    print("Worst remaining noise:", f"{gsino.metrics.crosstalk.worst_noise():.3f} V",
+          "(bound", f"{config.resolved_bound():.2f} V)")
+
+
+if __name__ == "__main__":
+    main()

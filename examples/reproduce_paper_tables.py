@@ -1,0 +1,45 @@
+"""Regenerate Tables 1-3 of the paper on the full synthetic benchmark suite.
+
+Runs ID+NO, iSINO and GSINO on every circuit (ibm01-ibm06) at both
+sensitivity rates (30 % and 50 %) and prints the three tables in the paper's
+format.  The default scale keeps the sweep at a few minutes of CPU; pass a
+larger scale for bigger (slower, more faithful) instances.  Run with::
+
+    python examples/reproduce_paper_tables.py [scale] [circuit ...]
+
+e.g. ``python examples/reproduce_paper_tables.py 0.03 ibm01 ibm02``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.experiments import (
+    DEFAULT_CIRCUITS,
+    ExperimentConfig,
+    render_all_tables,
+    run_table_suite,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    circuits = tuple(sys.argv[2:]) if len(sys.argv) > 2 else DEFAULT_CIRCUITS
+
+    config = ExperimentConfig(circuits=circuits, scale=scale, seed=7)
+    print(f"Running the table suite on {len(circuits)} circuit(s) at scale {scale} "
+          f"(electrical length scale {config.flow_config().length_scale:.1f}x) ...")
+
+    start = time.perf_counter()
+    comparisons = run_table_suite(config)
+    elapsed = time.perf_counter() - start
+
+    print()
+    print(render_all_tables(comparisons))
+    print(f"Suite completed in {elapsed:.1f} s "
+          f"({len(comparisons)} circuit/rate instances, 3 flows each).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+``pip install -e .`` works in any normal environment.  In fully offline
+environments that lack the ``wheel`` package (so PEP 517 editable installs
+cannot build), ``python setup.py develop`` performs an equivalent editable
+install using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Experiment drivers and plain-text reporting.
+
+:mod:`repro.analysis.experiments` regenerates the rows of the paper's Tables
+1–3 (and the model-validation studies) from the synthetic benchmark suite;
+:mod:`repro.analysis.report` renders them as aligned plain-text tables the
+way the paper prints them.
+"""
+
+from repro.analysis.report import format_table, format_percentage, render_comparison
+from repro.analysis.experiments import (
+    CircuitComparison,
+    ExperimentConfig,
+    run_circuit_comparison,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    run_table_suite,
+)
+
+__all__ = [
+    "format_table",
+    "format_percentage",
+    "render_comparison",
+    "CircuitComparison",
+    "ExperimentConfig",
+    "run_circuit_comparison",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "run_table_suite",
+]

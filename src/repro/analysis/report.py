@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Render a ratio as a percentage string, e.g. ``0.146 -> "14.60%"``."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Every cell is stringified; columns are left-aligned for strings and
+    right-aligned for numbers, padded to the widest entry.
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row} has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render a titled table followed by a blank line (for report concatenation)."""
+    return format_table(headers, rows, title=title) + "\n"

@@ -1,0 +1,31 @@
+"""Synthetic ISPD'98 / IBM-style benchmark circuits.
+
+The paper evaluates on the ISPD'98 / IBM benchmark suite placed with DRAGON.
+Neither the netlists nor the placement tool are redistributable here, so this
+sub-package generates *synthetic* circuits whose statistics match what the
+paper's tables expose about each design: number of signal nets, chip
+dimensions, average net length, and the random sensitivity assignment at a
+chosen rate.  DESIGN.md records this substitution; EXPERIMENTS.md records the
+scale factor every published number was generated at.
+
+Modules
+-------
+* :mod:`repro.bench.profiles` — the per-circuit statistics (ibm01–ibm06).
+* :mod:`repro.bench.placement` — net/pin synthesis from a profile.
+* :mod:`repro.bench.ibm` — the top-level generator returning grid + netlist.
+"""
+
+from repro.bench.profiles import CircuitProfile, IBM_PROFILES, get_profile, list_profiles
+from repro.bench.placement import PlacementConfig, generate_nets
+from repro.bench.ibm import GeneratedCircuit, generate_circuit
+
+__all__ = [
+    "CircuitProfile",
+    "IBM_PROFILES",
+    "get_profile",
+    "list_profiles",
+    "PlacementConfig",
+    "generate_nets",
+    "GeneratedCircuit",
+    "generate_circuit",
+]

@@ -1,0 +1,116 @@
+"""Synthesis of placed nets matching a circuit profile.
+
+The real benchmarks are placed with DRAGON; here each net is synthesised
+directly in its placed form:
+
+* the pin count follows a short-tailed distribution typical of standard-cell
+  netlists (mostly 2- and 3-pin nets),
+* the net's bounding box is drawn with exponentially distributed width and
+  height whose means are calibrated so the *average* half-perimeter wire
+  length matches the profile's published average net length (long-tail mix of
+  many short nets and few long global nets),
+* the bounding box centre is uniform over the chip, and the source / first
+  sink sit at opposite corners of the box so the box is tight.
+
+This keeps the statistics the experiments depend on — net count, net-length
+distribution, per-region demand — close to the originals without the
+original netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.profiles import CircuitProfile
+from repro.grid.nets import Net, Pin
+
+#: Pin-count distribution: (number of pins, probability).
+DEFAULT_PIN_DISTRIBUTION: Tuple[Tuple[int, float], ...] = (
+    (2, 0.58),
+    (3, 0.22),
+    (4, 0.11),
+    (5, 0.06),
+    (6, 0.03),
+)
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Knobs of the net synthesiser.
+
+    Attributes
+    ----------
+    pin_distribution:
+        Discrete distribution of pins per net.
+    hpwl_to_route_ratio:
+        Expected ratio between a net's HPWL and its final routed length; the
+        generator aims the *HPWL* mean at ``average_net_length`` divided by
+        this ratio so routed lengths land near the published averages.
+    minimum_span:
+        Smallest bounding-box side (um), keeping nets from degenerating to a
+        point.
+    """
+
+    pin_distribution: Tuple[Tuple[int, float], ...] = DEFAULT_PIN_DISTRIBUTION
+    hpwl_to_route_ratio: float = 1.05
+    minimum_span: float = 1.0
+
+    def __post_init__(self) -> None:
+        total = sum(probability for _, probability in self.pin_distribution)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"pin distribution probabilities must sum to 1, got {total}")
+        if any(count < 2 for count, _ in self.pin_distribution):
+            raise ValueError("every net needs at least 2 pins")
+        if self.hpwl_to_route_ratio <= 0.0:
+            raise ValueError("hpwl_to_route_ratio must be positive")
+        if self.minimum_span <= 0.0:
+            raise ValueError("minimum_span must be positive")
+
+
+def _draw_pin_count(config: PlacementConfig, rng: np.random.Generator) -> int:
+    counts = [count for count, _ in config.pin_distribution]
+    probabilities = [probability for _, probability in config.pin_distribution]
+    return int(rng.choice(counts, p=probabilities))
+
+
+def generate_nets(
+    profile: CircuitProfile,
+    rng: np.random.Generator,
+    config: PlacementConfig = PlacementConfig(),
+) -> List[Net]:
+    """Generate the placed nets of one synthetic circuit."""
+    chip_w = profile.chip_width
+    chip_h = profile.chip_height
+    target_hpwl = profile.average_net_length / config.hpwl_to_route_ratio
+    # Split the HPWL budget between x and y proportionally to the chip aspect.
+    mean_w = target_hpwl * chip_w / (chip_w + chip_h)
+    mean_h = target_hpwl * chip_h / (chip_w + chip_h)
+
+    nets: List[Net] = []
+    for net_id in range(profile.num_nets):
+        width = min(max(rng.exponential(mean_w), config.minimum_span), chip_w)
+        height = min(max(rng.exponential(mean_h), config.minimum_span), chip_h)
+        center_x = rng.uniform(width / 2.0, chip_w - width / 2.0)
+        center_y = rng.uniform(height / 2.0, chip_h - height / 2.0)
+        x_low, x_high = center_x - width / 2.0, center_x + width / 2.0
+        y_low, y_high = center_y - height / 2.0, center_y + height / 2.0
+
+        num_pins = _draw_pin_count(config, rng)
+        pins: List[Pin] = [Pin(x=x_low, y=y_low), Pin(x=x_high, y=y_high)]
+        for _ in range(num_pins - 2):
+            pins.append(Pin(x=rng.uniform(x_low, x_high), y=rng.uniform(y_low, y_high)))
+        # Randomise which pin drives the net so sources are not biased to one corner.
+        source_index = int(rng.integers(len(pins)))
+        pins[0], pins[source_index] = pins[source_index], pins[0]
+        nets.append(Net(net_id=net_id, pins=tuple(pins), name=f"{profile.name}_n{net_id}"))
+    return nets
+
+
+def average_hpwl(nets: Sequence[Net]) -> float:
+    """Mean half-perimeter wire length of a net collection (um)."""
+    if not nets:
+        return 0.0
+    return sum(net.hpwl() for net in nets) / len(nets)

@@ -1,0 +1,58 @@
+"""A small transient circuit simulator for coupled RLC interconnect.
+
+The paper builds its LSK lookup table by running SPICE on single-region SINO
+solutions.  SPICE is not available here, so this sub-package provides the
+substitute: a modified-nodal-analysis (MNA) transient simulator that handles
+resistors, capacitors, (mutually coupled) inductors, and piecewise-linear
+voltage sources — exactly the element set needed to model a panel of parallel
+global wires with shields, drivers and receivers.
+
+Modules
+-------
+* :mod:`repro.circuit.elements` — circuit element dataclasses.
+* :mod:`repro.circuit.netlist` — the circuit container / node name registry.
+* :mod:`repro.circuit.waveforms` — piecewise-linear stimulus descriptions.
+* :mod:`repro.circuit.mna` — MNA matrix assembly and trapezoidal transient
+  integration.
+* :mod:`repro.circuit.coupled_lines` — builds a multi-segment coupled RLC
+  ladder circuit for a panel of parallel wires from technology parasitics.
+"""
+
+from repro.circuit.elements import (
+    Capacitor,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import PiecewiseLinear, ramp, step
+from repro.circuit.mna import TransientResult, TransientSimulator
+from repro.circuit.coupled_lines import (
+    CoupledLineConfig,
+    CoupledLinePanel,
+    WireRole,
+    build_panel_circuit,
+    roles_from_string,
+    simulate_panel_noise,
+)
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualInductance",
+    "VoltageSource",
+    "Circuit",
+    "PiecewiseLinear",
+    "ramp",
+    "step",
+    "TransientSimulator",
+    "TransientResult",
+    "CoupledLineConfig",
+    "CoupledLinePanel",
+    "WireRole",
+    "build_panel_circuit",
+    "roles_from_string",
+    "simulate_panel_noise",
+]

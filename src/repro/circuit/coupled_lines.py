@@ -1,0 +1,273 @@
+"""Coupled RLC line circuits for a panel of parallel global wires.
+
+A "panel" is the set of parallel tracks inside one routing region (the unit
+SINO operates on).  To characterise crosstalk the paper simulates such panels
+in SPICE: each wire is a distributed RLC line, wires couple through sidewall
+capacitance and mutual inductance, aggressors switch, the victim is held
+quiet, and shields are tied to ground.  This module builds exactly that
+circuit for our MNA simulator.
+
+Each wire is discretised into ``segments_per_wire`` RLC sections.  Coupling
+capacitance is only stamped between adjacent tracks (it is strongly screened
+by intermediate conductors), while mutual inductance is stamped between every
+pair of signal/shield tracks (it is long-range) with the geometric decay
+provided by :func:`repro.tech.parasitics.extract_parasitics`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.elements import GROUND
+from repro.circuit.mna import TransientResult, TransientSimulator
+from repro.circuit.waveforms import constant, ramp
+from repro.tech.driver import UniformInterfaceModel
+from repro.tech.itrs import Technology
+from repro.tech.parasitics import extract_parasitics
+
+
+class WireRole(enum.Enum):
+    """What a track in the panel is doing during the noise characterisation."""
+
+    AGGRESSOR = "aggressor"
+    VICTIM = "victim"
+    QUIET = "quiet"
+    SHIELD = "shield"
+
+    @property
+    def is_signal(self) -> bool:
+        """True for tracks that carry a signal net (not shields)."""
+        return self is not WireRole.SHIELD
+
+
+@dataclass(frozen=True)
+class CoupledLineConfig:
+    """Parameters of a panel characterisation run.
+
+    Attributes
+    ----------
+    technology:
+        Technology node supplying geometry and parasitics.
+    interface:
+        Uniform driver / receiver model shared by every signal wire.
+    wire_length:
+        Length of every wire in the panel, in metres.
+    segments_per_wire:
+        Number of RLC sections each wire is split into.  Five sections per
+        wire are enough for the noise peak to converge at global-wire lengths.
+    shield_resistance:
+        Resistance of the via connection tying each shield end to the P/G
+        network, in ohms.
+    """
+
+    technology: Technology
+    interface: UniformInterfaceModel
+    wire_length: float
+    segments_per_wire: int = 5
+    shield_resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.wire_length <= 0.0:
+            raise ValueError(f"wire_length must be positive, got {self.wire_length}")
+        if self.segments_per_wire < 1:
+            raise ValueError(f"segments_per_wire must be >= 1, got {self.segments_per_wire}")
+        if self.shield_resistance <= 0.0:
+            raise ValueError(f"shield_resistance must be positive, got {self.shield_resistance}")
+
+
+@dataclass
+class CoupledLinePanel:
+    """A built panel circuit plus the bookkeeping needed to read results.
+
+    Attributes
+    ----------
+    circuit:
+        The assembled :class:`~repro.circuit.netlist.Circuit`.
+    roles:
+        The role of each track, in track order.
+    sink_nodes:
+        Node name of the far (receiver) end of each track; shields map to
+        their grounded far-end node.
+    source_nodes:
+        Node name of the near (driver) end of each track.
+    """
+
+    circuit: Circuit
+    roles: Tuple[WireRole, ...]
+    sink_nodes: Tuple[str, ...]
+    source_nodes: Tuple[str, ...]
+    config: CoupledLineConfig = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def victim_sinks(self) -> List[str]:
+        """Sink nodes of all victim tracks."""
+        return [node for node, role in zip(self.sink_nodes, self.roles) if role is WireRole.VICTIM]
+
+
+def _wire_node(track: int, section: int) -> str:
+    """Internal node naming scheme: ``w<track>_n<section>``."""
+    return f"w{track}_n{section}"
+
+
+def build_panel_circuit(config: CoupledLineConfig, roles: Sequence[WireRole]) -> CoupledLinePanel:
+    """Build the MNA circuit of a panel with the given track roles.
+
+    Aggressors are driven by a 0 -> Vdd ramp behind the driver resistance,
+    victims and quiet wires are held at 0 V behind the same driver, and
+    shields are tied to ground through ``shield_resistance`` at both ends.
+    Every signal wire sees the receiver load capacitance at its far end.
+    """
+    roles = tuple(roles)
+    if not roles:
+        raise ValueError("a panel needs at least one track")
+    if not any(role is WireRole.VICTIM for role in roles):
+        raise ValueError("a panel characterisation needs at least one victim track")
+
+    tech = config.technology
+    interface = config.interface
+    segments = config.segments_per_wire
+    segment_length = config.wire_length / segments
+
+    circuit = Circuit(name=f"panel_{len(roles)}tracks")
+    source_nodes: List[str] = []
+    sink_nodes: List[str] = []
+
+    # Per-wire parasitics (same for every track since geometry is uniform).
+    unit = extract_parasitics(tech, config.wire_length, neighbour_tracks=1)
+    seg_r = unit.resistance * segment_length
+    seg_cg = unit.ground_capacitance * segment_length
+    seg_l = unit.self_inductance * segment_length
+
+    # Wire bodies: driver, RLC ladder, receiver.
+    for track, role in enumerate(roles):
+        near = _wire_node(track, 0)
+        source_nodes.append(near)
+        if role is WireRole.SHIELD:
+            circuit.add_resistor(f"rshield_near_{track}", near, GROUND, config.shield_resistance)
+        else:
+            drive_node = f"drv{track}"
+            if role is WireRole.AGGRESSOR:
+                waveform = ramp(interface.driver.vdd, interface.driver.rise_time)
+            else:
+                waveform = constant(0.0)
+            circuit.add_voltage_source(f"vsrc{track}", drive_node, GROUND, waveform=waveform)
+            circuit.add_resistor(f"rdrv{track}", drive_node, near, interface.driver.resistance)
+
+        for section in range(segments):
+            left = _wire_node(track, section)
+            mid = f"w{track}_m{section}"
+            right = _wire_node(track, section + 1)
+            circuit.add_resistor(f"r{track}_{section}", left, mid, seg_r)
+            circuit.add_inductor(f"l{track}_{section}", mid, right, seg_l)
+            circuit.add_capacitor(f"cg{track}_{section}", right, GROUND, seg_cg)
+
+        far = _wire_node(track, segments)
+        sink_nodes.append(far)
+        if role is WireRole.SHIELD:
+            circuit.add_resistor(f"rshield_far_{track}", far, GROUND, config.shield_resistance)
+        else:
+            circuit.add_capacitor(f"cload{track}", far, GROUND, interface.receiver.capacitance)
+
+    # Coupling capacitance: adjacent tracks only.
+    for track in range(len(roles) - 1):
+        cc = extract_parasitics(tech, config.wire_length, neighbour_tracks=1).coupling_capacitance
+        seg_cc = cc * segment_length
+        for section in range(1, segments + 1):
+            circuit.add_capacitor(
+                f"cc{track}_{track + 1}_{section}",
+                _wire_node(track, section),
+                _wire_node(track + 1, section),
+                seg_cc,
+            )
+
+    # Mutual inductance: all track pairs (long range), decaying with distance.
+    for track_a in range(len(roles)):
+        for track_b in range(track_a + 1, len(roles)):
+            distance = track_b - track_a
+            mutual = extract_parasitics(tech, config.wire_length, neighbour_tracks=distance).mutual_inductance
+            seg_m = mutual * segment_length
+            if seg_m <= 0.0:
+                continue
+            for section in range(segments):
+                circuit.add_mutual(
+                    f"k{track_a}_{track_b}_{section}",
+                    f"l{track_a}_{section}",
+                    f"l{track_b}_{section}",
+                    seg_m,
+                )
+
+    return CoupledLinePanel(
+        circuit=circuit,
+        roles=roles,
+        sink_nodes=tuple(sink_nodes),
+        source_nodes=tuple(source_nodes),
+        config=config,
+    )
+
+
+def simulate_panel_noise(
+    config: CoupledLineConfig,
+    roles: Sequence[WireRole],
+    stop_time: Optional[float] = None,
+    num_steps: int = 600,
+) -> Tuple[float, TransientResult]:
+    """Simulate a panel and return the peak victim-sink noise voltage.
+
+    Parameters
+    ----------
+    config:
+        Panel characterisation parameters.
+    roles:
+        Track roles in panel order (must contain at least one victim).
+    stop_time:
+        Simulation horizon; defaults to four driver rise times plus four times
+        the wire's RC delay, which comfortably contains the noise peak.
+    num_steps:
+        Number of trapezoidal integration steps.
+
+    Returns
+    -------
+    (noise, result):
+        ``noise`` is the largest absolute voltage across all victim sinks;
+        ``result`` is the full transient result for further inspection.
+    """
+    panel = build_panel_circuit(config, roles)
+    if stop_time is None:
+        unit = extract_parasitics(config.technology, config.wire_length, neighbour_tracks=1)
+        wire_rc = (
+            unit.resistance
+            * config.wire_length
+            * (unit.ground_capacitance + unit.coupling_capacitance)
+            * config.wire_length
+        )
+        driver_rc = config.interface.driver.resistance * (
+            unit.ground_capacitance * config.wire_length + config.interface.receiver.capacitance
+        )
+        stop_time = 4.0 * config.interface.driver.rise_time + 4.0 * (wire_rc + driver_rc)
+    simulator = TransientSimulator(panel.circuit)
+    result = simulator.run(stop_time, num_steps=num_steps)
+    victim_sinks = panel.victim_sinks()
+    noise = max(result.peak_abs_voltage(node) for node in victim_sinks)
+    return noise, result
+
+
+def roles_from_string(pattern: str) -> Tuple[WireRole, ...]:
+    """Parse a compact track-pattern string such as ``"AVSA"``.
+
+    ``A`` = aggressor, ``V`` = victim, ``S`` = shield, ``Q`` = quiet signal.
+    Convenient for tests and examples.
+    """
+    mapping = {
+        "A": WireRole.AGGRESSOR,
+        "V": WireRole.VICTIM,
+        "S": WireRole.SHIELD,
+        "Q": WireRole.QUIET,
+    }
+    roles: List[WireRole] = []
+    for char in pattern.strip().upper():
+        if char not in mapping:
+            raise ValueError(f"unknown track role character {char!r} (expected A, V, S or Q)")
+        roles.append(mapping[char])
+    return tuple(roles)

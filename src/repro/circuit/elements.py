@@ -1,0 +1,127 @@
+"""Circuit element descriptions used by the MNA simulator.
+
+Elements are plain dataclasses: they carry the node names they connect and
+their value, and nothing else.  Matrix stamping lives in
+:mod:`repro.circuit.mna`; this separation keeps the element set easy to test
+and extend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.waveforms import PiecewiseLinear
+
+#: Name of the reference node.  Every circuit must reference it at least once.
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A linear resistor between two nodes (ohms)."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError(f"resistor {self.name}: resistance must be positive, got {self.resistance}")
+        if self.node_pos == self.node_neg:
+            raise ValueError(f"resistor {self.name}: both terminals on node {self.node_pos!r}")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A linear capacitor between two nodes (farads)."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    capacitance: float
+    initial_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ValueError(f"capacitor {self.name}: capacitance must be positive, got {self.capacitance}")
+        if self.node_pos == self.node_neg:
+            raise ValueError(f"capacitor {self.name}: both terminals on node {self.node_pos!r}")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """A linear inductor between two nodes (henries).
+
+    Inductors introduce a branch-current unknown in MNA; mutual coupling
+    between two inductors is expressed with :class:`MutualInductance`.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    inductance: float
+    initial_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0.0:
+            raise ValueError(f"inductor {self.name}: inductance must be positive, got {self.inductance}")
+        if self.node_pos == self.node_neg:
+            raise ValueError(f"inductor {self.name}: both terminals on node {self.node_pos!r}")
+
+
+@dataclass(frozen=True)
+class MutualInductance:
+    """Mutual inductance (henries) between two named inductors.
+
+    The coupling must satisfy ``M <= sqrt(L1 * L2)`` (checked at circuit
+    finalisation when both inductors are known).
+    """
+
+    name: str
+    inductor_a: str
+    inductor_b: str
+    mutual: float
+
+    def __post_init__(self) -> None:
+        if self.mutual < 0.0:
+            raise ValueError(f"mutual inductance {self.name}: value must be non-negative, got {self.mutual}")
+        if self.inductor_a == self.inductor_b:
+            raise ValueError(f"mutual inductance {self.name}: cannot couple inductor to itself")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An independent voltage source with a piecewise-linear waveform.
+
+    A constant source is expressed with a single-point waveform.  Voltage
+    sources introduce a branch-current unknown in MNA.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    waveform: PiecewiseLinear
+
+    def __post_init__(self) -> None:
+        if self.node_pos == self.node_neg:
+            raise ValueError(f"voltage source {self.name}: both terminals on node {self.node_pos!r}")
+
+    def voltage_at(self, time: float) -> float:
+        """Source value at an absolute time (seconds)."""
+        return self.waveform.value_at(time)
+
+
+Element = object  # historical alias; kept for typing readability in callers
+
+
+def element_nodes(element: object) -> tuple:
+    """Return the node names an element touches (empty for MutualInductance)."""
+    if isinstance(element, MutualInductance):
+        return ()
+    node_pos: Optional[str] = getattr(element, "node_pos", None)
+    node_neg: Optional[str] = getattr(element, "node_neg", None)
+    if node_pos is None or node_neg is None:
+        raise TypeError(f"object {element!r} is not a circuit element")
+    return (node_pos, node_neg)

@@ -1,0 +1,205 @@
+"""Circuit container: nodes, elements and validation.
+
+A :class:`Circuit` is built incrementally (``add_resistor`` and friends) and
+then handed to :class:`repro.circuit.mna.TransientSimulator`.  The container
+owns node-name bookkeeping and element validation; it knows nothing about
+matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.circuit.elements import (
+    GROUND,
+    Capacitor,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.waveforms import PiecewiseLinear, constant
+
+
+class Circuit:
+    """A flat netlist of linear elements referenced to a single ground node.
+
+    Node names are arbitrary non-empty strings; ``"0"`` (``GROUND``) is the
+    reference.  Element names must be unique within their element class.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.inductors: List[Inductor] = []
+        self.mutuals: List[MutualInductance] = []
+        self.sources: List[VoltageSource] = []
+        self._node_names: Dict[str, None] = {GROUND: None}
+        self._element_names: Dict[str, None] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def _register_nodes(self, *nodes: str) -> None:
+        for node in nodes:
+            if not node:
+                raise ValueError("node names must be non-empty strings")
+            self._node_names.setdefault(node, None)
+
+    def _register_element_name(self, name: str) -> None:
+        if not name:
+            raise ValueError("element names must be non-empty strings")
+        if name in self._element_names:
+            raise ValueError(f"duplicate element name {name!r} in circuit {self.name!r}")
+        self._element_names[name] = None
+
+    def add_resistor(self, name: str, node_pos: str, node_neg: str, resistance: float) -> Resistor:
+        """Add a resistor and return it."""
+        element = Resistor(name=name, node_pos=node_pos, node_neg=node_neg, resistance=resistance)
+        self._register_element_name(name)
+        self._register_nodes(node_pos, node_neg)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self,
+        name: str,
+        node_pos: str,
+        node_neg: str,
+        capacitance: float,
+        initial_voltage: float = 0.0,
+    ) -> Capacitor:
+        """Add a capacitor and return it."""
+        element = Capacitor(
+            name=name,
+            node_pos=node_pos,
+            node_neg=node_neg,
+            capacitance=capacitance,
+            initial_voltage=initial_voltage,
+        )
+        self._register_element_name(name)
+        self._register_nodes(node_pos, node_neg)
+        self.capacitors.append(element)
+        return element
+
+    def add_inductor(
+        self,
+        name: str,
+        node_pos: str,
+        node_neg: str,
+        inductance: float,
+        initial_current: float = 0.0,
+    ) -> Inductor:
+        """Add an inductor and return it."""
+        element = Inductor(
+            name=name,
+            node_pos=node_pos,
+            node_neg=node_neg,
+            inductance=inductance,
+            initial_current=initial_current,
+        )
+        self._register_element_name(name)
+        self._register_nodes(node_pos, node_neg)
+        self.inductors.append(element)
+        return element
+
+    def add_mutual(self, name: str, inductor_a: str, inductor_b: str, mutual: float) -> MutualInductance:
+        """Couple two previously added inductors with a mutual inductance."""
+        element = MutualInductance(name=name, inductor_a=inductor_a, inductor_b=inductor_b, mutual=mutual)
+        self._register_element_name(name)
+        self.mutuals.append(element)
+        return element
+
+    def add_voltage_source(
+        self,
+        name: str,
+        node_pos: str,
+        node_neg: str,
+        waveform: Optional[PiecewiseLinear] = None,
+        dc_value: float = 0.0,
+    ) -> VoltageSource:
+        """Add a voltage source; either a waveform or a DC value."""
+        if waveform is None:
+            waveform = constant(dc_value)
+        element = VoltageSource(name=name, node_pos=node_pos, node_neg=node_neg, waveform=waveform)
+        self._register_element_name(name)
+        self._register_nodes(node_pos, node_neg)
+        self.sources.append(element)
+        return element
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        """All node names including ground, in insertion order."""
+        return list(self._node_names)
+
+    @property
+    def non_ground_nodes(self) -> List[str]:
+        """All node names excluding ground, in insertion order."""
+        return [node for node in self._node_names if node != GROUND]
+
+    def element_count(self) -> int:
+        """Total number of elements (mutual couplings included)."""
+        return (
+            len(self.resistors)
+            + len(self.capacitors)
+            + len(self.inductors)
+            + len(self.mutuals)
+            + len(self.sources)
+        )
+
+    def inductor_by_name(self, name: str) -> Inductor:
+        """Look up an inductor by name (raises KeyError if absent)."""
+        for inductor in self.inductors:
+            if inductor.name == name:
+                return inductor
+        raise KeyError(f"no inductor named {name!r} in circuit {self.name!r}")
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural consistency before simulation.
+
+        Raises
+        ------
+        ValueError
+            If the circuit has no elements, references ground nowhere, has a
+            mutual inductance referring to a missing inductor, or has a
+            physically impossible coupling (``M > sqrt(L1 L2)``).
+        """
+        if self.element_count() == 0:
+            raise ValueError(f"circuit {self.name!r} has no elements")
+
+        touches_ground = False
+        for group in (self.resistors, self.capacitors, self.inductors, self.sources):
+            for element in group:
+                if GROUND in (element.node_pos, element.node_neg):
+                    touches_ground = True
+                    break
+            if touches_ground:
+                break
+        if not touches_ground:
+            raise ValueError(f"circuit {self.name!r} never references the ground node {GROUND!r}")
+
+        inductances = {inductor.name: inductor.inductance for inductor in self.inductors}
+        for mutual in self.mutuals:
+            for ref in (mutual.inductor_a, mutual.inductor_b):
+                if ref not in inductances:
+                    raise ValueError(
+                        f"mutual inductance {mutual.name!r} references unknown inductor {ref!r}"
+                    )
+            limit = math.sqrt(inductances[mutual.inductor_a] * inductances[mutual.inductor_b])
+            if mutual.mutual > limit * (1.0 + 1e-9):
+                raise ValueError(
+                    f"mutual inductance {mutual.name!r} ({mutual.mutual}) exceeds "
+                    f"sqrt(L1*L2) = {limit}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, nodes={len(self._node_names)}, "
+            f"R={len(self.resistors)}, C={len(self.capacitors)}, "
+            f"L={len(self.inductors)}, K={len(self.mutuals)}, V={len(self.sources)})"
+        )

@@ -1,0 +1,89 @@
+"""Piecewise-linear stimulus waveforms for the transient simulator.
+
+The LSK table characterisation drives aggressor nets with a single rising ramp
+(0 to Vdd over the technology rise time) while the victim's driver holds it
+quiet at 0 V.  Both are naturally expressed as piecewise-linear waveforms.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A piecewise-linear waveform defined by (time, value) breakpoints.
+
+    Before the first breakpoint the waveform holds the first value; after the
+    last breakpoint it holds the last value.  Breakpoint times must be strictly
+    increasing.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a piecewise-linear waveform needs at least one breakpoint")
+        times = [t for t, _ in self.points]
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise ValueError(f"breakpoint times must be strictly increasing, got {times}")
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[float, float]]) -> "PiecewiseLinear":
+        """Build from any sequence of (time, value) pairs."""
+        return cls(points=tuple((float(t), float(v)) for t, v in pairs))
+
+    def value_at(self, time: float) -> float:
+        """Evaluate the waveform at an absolute time (seconds)."""
+        times = [t for t, _ in self.points]
+        if time <= times[0]:
+            return self.points[0][1]
+        if time >= times[-1]:
+            return self.points[-1][1]
+        index = bisect.bisect_right(times, time)
+        t0, v0 = self.points[index - 1]
+        t1, v1 = self.points[index]
+        fraction = (time - t0) / (t1 - t0)
+        return v0 + fraction * (v1 - v0)
+
+    @property
+    def final_value(self) -> float:
+        """Value held after the last breakpoint."""
+        return self.points[-1][1]
+
+    @property
+    def max_abs_value(self) -> float:
+        """Largest absolute breakpoint value (bounds the waveform everywhere)."""
+        return max(abs(v) for _, v in self.points)
+
+
+def constant(value: float) -> PiecewiseLinear:
+    """A waveform that holds ``value`` for all time."""
+    return PiecewiseLinear(points=((0.0, float(value)),))
+
+
+def step(value: float, at: float = 0.0) -> PiecewiseLinear:
+    """An (almost) ideal step from 0 to ``value`` at time ``at``.
+
+    A tiny but finite rise (1 fs) keeps the waveform well-defined for the
+    integrator; transient steps are always much larger than that.
+    """
+    eps = 1e-15
+    return PiecewiseLinear(points=((float(at), 0.0), (float(at) + eps, float(value))))
+
+
+def ramp(value: float, rise_time: float, start: float = 0.0) -> PiecewiseLinear:
+    """A linear ramp from 0 to ``value`` starting at ``start`` over ``rise_time``."""
+    if rise_time <= 0.0:
+        raise ValueError(f"rise_time must be positive, got {rise_time}")
+    return PiecewiseLinear(points=((float(start), 0.0), (float(start) + float(rise_time), float(value))))
+
+
+def falling_ramp(value: float, fall_time: float, start: float = 0.0) -> PiecewiseLinear:
+    """A linear ramp from ``value`` down to 0, used for falling-edge aggressors."""
+    if fall_time <= 0.0:
+        raise ValueError(f"fall_time must be positive, got {fall_time}")
+    return PiecewiseLinear(points=((float(start), float(value)), (float(start) + float(fall_time), 0.0)))

@@ -1,0 +1,161 @@
+"""Command-line interface for the GSINO reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro.cli tables  --scale 0.03 --circuits ibm01 ibm02
+    python -m repro.cli compare --circuit ibm03 --rate 0.5 --scale 0.03
+    python -m repro.cli characterize --samples 80
+
+``tables`` regenerates the paper's Tables 1–3 on the synthetic suite,
+``compare`` runs the three flows on a single circuit and prints one row of
+each table, and ``characterize`` builds the LSK lookup table from the circuit
+simulator and optionally writes it to a JSON file that ``GsinoConfig`` can
+load back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    DEFAULT_CIRCUITS,
+    ExperimentConfig,
+    render_all_tables,
+    run_table_suite,
+)
+from repro.analysis.report import format_percentage
+from repro.bench.ibm import generate_circuit
+from repro.gsino.config import GsinoConfig
+from repro.gsino.pipeline import compare_flows
+from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+
+
+def _add_tables_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("tables", help="regenerate Tables 1-3 on the synthetic suite")
+    parser.add_argument("--scale", type=float, default=0.03, help="benchmark size scale in (0, 1]")
+    parser.add_argument("--seed", type=int, default=7, help="base random seed")
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=list(DEFAULT_CIRCUITS),
+        help="benchmark circuits to include (ibm01..ibm06)",
+    )
+    parser.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=[0.3, 0.5],
+        help="sensitivity rates to evaluate",
+    )
+    parser.add_argument("--output", type=Path, default=None, help="write the tables to this file")
+
+
+def _add_compare_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("compare", help="run ID+NO, iSINO and GSINO on one circuit")
+    parser.add_argument("--circuit", default="ibm01", help="benchmark circuit name")
+    parser.add_argument("--rate", type=float, default=0.3, help="sensitivity rate")
+    parser.add_argument("--scale", type=float, default=0.03, help="benchmark size scale in (0, 1]")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument("--bound", type=float, default=None, help="crosstalk bound in volts")
+
+
+def _add_characterize_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "characterize", help="build the LSK lookup table with the circuit simulator"
+    )
+    parser.add_argument("--samples", type=int, default=120, help="number of simulated panels")
+    parser.add_argument("--seed", type=int, default=2002, help="random seed of the sweep")
+    parser.add_argument("--output", type=Path, default=None, help="write the table JSON here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards Global Routing With RLC Crosstalk Constraints'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_tables_parser(subparsers)
+    _add_compare_parser(subparsers)
+    _add_characterize_parser(subparsers)
+    return parser
+
+
+def _run_tables(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        circuits=tuple(args.circuits),
+        sensitivity_rates=tuple(args.rates),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    comparisons = run_table_suite(config)
+    text = render_all_tables(comparisons)
+    elapsed = time.perf_counter() - start
+    print(text)
+    print(f"\nSuite completed in {elapsed:.1f} s.")
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"Tables written to {args.output}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    circuit = generate_circuit(
+        args.circuit, sensitivity_rate=args.rate, scale=args.scale, seed=args.seed
+    )
+    config = GsinoConfig(
+        crosstalk_bound=args.bound,
+        length_scale=1.0 / (args.scale ** 0.5),
+    )
+    results = compare_flows(circuit.grid, circuit.netlist, config)
+    id_no = results["id_no"]
+    print(
+        f"{circuit.profile.name}: {circuit.netlist.num_nets} nets, "
+        f"sensitivity {format_percentage(args.rate, 0)}, bound {config.resolved_bound():.2f} V"
+    )
+    for name in ("id_no", "isino", "gsino"):
+        metrics = results[name].metrics
+        area_overhead = metrics.area.overhead_vs(id_no.metrics.area)
+        print(
+            f"  {name:6s} violations={metrics.crosstalk.num_violations:<5d} "
+            f"avg_wl={metrics.average_wirelength_um:8.1f} um  "
+            f"area={metrics.area.dimensions_label():>14s} ({format_percentage(area_overhead)})  "
+            f"shields={metrics.total_shields}"
+        )
+    return 0
+
+
+def _run_characterize(args: argparse.Namespace) -> int:
+    config = TableBuildConfig(num_samples=args.samples, seed=args.seed)
+    builder = LskTableBuilder(config)
+    table = builder.build()
+    low, high = table.noise_range
+    print(f"Built a {table.num_entries}-entry LSK table spanning {low:.3f}-{high:.3f} V")
+    print(f"LSK budget at the 0.15 V bound: {table.lsk_for_noise(0.15):.3e} m*K")
+    if args.output is not None:
+        table.save(args.output)
+        print(f"Table written to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "tables":
+        return _run_tables(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "characterize":
+        return _run_characterize(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Global-routing substrate: grid, netlist, Steiner estimation, routes, area.
+
+The paper routes over-the-cell global interconnect on a pair of routing
+layers divided by pre-routed power/ground wires into *routing regions*, each
+with a horizontal and a vertical track capacity.  This sub-package provides
+those structures plus everything the routers and the evaluation need on top
+of them:
+
+* :mod:`repro.grid.regions` — the routing grid and its regions/capacities.
+* :mod:`repro.grid.nets` — pins, nets, netlists and sensitivity relations.
+* :mod:`repro.grid.steiner` — rectilinear Steiner tree length estimation.
+* :mod:`repro.grid.routes` — route trees over the region grid and routing
+  solutions.
+* :mod:`repro.grid.congestion` — per-region utilisation, density and
+  overflow accounting.
+* :mod:`repro.grid.area` — the routing-area model used for Table 3.
+"""
+
+from repro.grid.regions import Region, RoutingGrid
+from repro.grid.nets import Net, Netlist, Pin
+from repro.grid.sensitivity import (
+    ExplicitSensitivity,
+    RandomPairwiseSensitivity,
+    SensitivityOracle,
+)
+from repro.grid.steiner import hpwl, prim_steiner_length, rsmt_length_estimate
+from repro.grid.routes import RouteTree, RoutingSolution
+from repro.grid.congestion import CongestionMap, RegionUsage
+from repro.grid.area import AreaReport, routing_area
+
+__all__ = [
+    "Region",
+    "RoutingGrid",
+    "Pin",
+    "Net",
+    "Netlist",
+    "ExplicitSensitivity",
+    "RandomPairwiseSensitivity",
+    "SensitivityOracle",
+    "hpwl",
+    "prim_steiner_length",
+    "rsmt_length_estimate",
+    "RouteTree",
+    "RoutingSolution",
+    "CongestionMap",
+    "RegionUsage",
+    "AreaReport",
+    "routing_area",
+]

@@ -1,0 +1,105 @@
+"""The routing-area model behind Table 3.
+
+The paper computes the routing area of a solution as "the product of the
+maximum row and column lengths".  Shields consume routing tracks; when a
+region needs more tracks than its capacity provides, the corresponding row or
+column of the chip must be stretched to create those tracks.  The model here
+makes that concrete:
+
+* a region needing ``extra_h`` horizontal tracks beyond its capacity adds
+  ``extra_h * track_pitch`` to the height of its *row* (horizontal tracks
+  stack vertically);
+* a region needing ``extra_v`` vertical tracks adds ``extra_v * track_pitch``
+  to the width of its *column*;
+* each row's height (column's width) is set by its most demanding region;
+* the chip height is the sum of row heights, the chip width the sum of column
+  widths, and the reported routing area is ``width x height``.
+
+With no overflow anywhere the model reproduces the original chip dimensions,
+which is what Table 3 lists for the ID+NO baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.grid.congestion import CongestionMap
+from repro.grid.regions import HORIZONTAL, VERTICAL, RoutingGrid
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Routing area of one solution.
+
+    Attributes
+    ----------
+    chip_width / chip_height:
+        Expanded chip dimensions in micrometres (the ``row x column`` numbers
+        of Table 3).
+    base_width / base_height:
+        Original chip dimensions before any expansion.
+    """
+
+    chip_width: float
+    chip_height: float
+    base_width: float
+    base_height: float
+
+    @property
+    def area(self) -> float:
+        """Routing area (um^2)."""
+        return self.chip_width * self.chip_height
+
+    @property
+    def base_area(self) -> float:
+        """Area of the unexpanded chip (um^2)."""
+        return self.base_width * self.base_height
+
+    @property
+    def overhead(self) -> float:
+        """Relative area increase over the unexpanded chip (0.0 = none)."""
+        if self.base_area == 0.0:
+            return 0.0
+        return self.area / self.base_area - 1.0
+
+    def overhead_vs(self, other: "AreaReport") -> float:
+        """Relative area increase over another report (Table 3's percentages)."""
+        if other.area == 0.0:
+            return 0.0
+        return self.area / other.area - 1.0
+
+    def dimensions_label(self) -> str:
+        """Formatted ``width x height`` string matching the paper's tables."""
+        return f"{self.chip_width:.0f} x {self.chip_height:.0f}"
+
+
+def routing_area(congestion: CongestionMap, grid: RoutingGrid) -> AreaReport:
+    """Evaluate the routing-area model for a congestion map.
+
+    The congestion map must already include the shield counts of the solution
+    being evaluated (``Nss`` per region and direction); net segments and
+    shields are treated identically because both occupy a full track.
+    """
+    row_extra_um: Dict[int, float] = {iy: 0.0 for iy in range(grid.num_rows)}
+    col_extra_um: Dict[int, float] = {ix: 0.0 for ix in range(grid.num_cols)}
+    pitch = grid.track_pitch_um
+
+    for coord, direction, usage in congestion.entries():
+        extra_tracks = usage.overflow
+        if extra_tracks <= 0.0:
+            continue
+        ix, iy = coord
+        if direction == HORIZONTAL:
+            row_extra_um[iy] = max(row_extra_um[iy], extra_tracks * pitch)
+        elif direction == VERTICAL:
+            col_extra_um[ix] = max(col_extra_um[ix], extra_tracks * pitch)
+
+    chip_height = sum(grid.region_height + extra for extra in row_extra_um.values())
+    chip_width = sum(grid.region_width + extra for extra in col_extra_um.values())
+    return AreaReport(
+        chip_width=chip_width,
+        chip_height=chip_height,
+        base_width=grid.chip_width,
+        base_height=grid.chip_height,
+    )

@@ -1,0 +1,232 @@
+"""The routing grid: regions bounded by power/ground wires.
+
+The chip is divided into ``num_cols`` x ``num_rows`` rectangular routing
+regions.  Each region has a horizontal capacity ``HC`` (tracks available for
+horizontal wires) and a vertical capacity ``VC``.  Power/ground wires are
+assumed wide enough that there is no coupling between neighbouring regions,
+which is why SINO can be solved region by region.
+
+Coordinates follow the usual convention: column index ``ix`` grows to the
+right (x direction), row index ``iy`` grows upwards (y direction).  All
+physical dimensions are in micrometres to match the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: A region coordinate: (column index, row index).
+RegionCoord = Tuple[int, int]
+
+#: Routing directions.
+HORIZONTAL = "horizontal"
+VERTICAL = "vertical"
+
+
+@dataclass(frozen=True)
+class Region:
+    """One routing region of the grid.
+
+    Attributes
+    ----------
+    ix / iy:
+        Column / row index in the grid.
+    width / height:
+        Physical size in micrometres.
+    horizontal_capacity:
+        Number of horizontal tracks available (``HC`` in the paper).
+    vertical_capacity:
+        Number of vertical tracks available (``VC`` in the paper).
+    """
+
+    ix: int
+    iy: int
+    width: float
+    height: float
+    horizontal_capacity: int
+    vertical_capacity: int
+
+    def __post_init__(self) -> None:
+        if self.ix < 0 or self.iy < 0:
+            raise ValueError(f"region indices must be non-negative, got ({self.ix}, {self.iy})")
+        if self.width <= 0.0 or self.height <= 0.0:
+            raise ValueError(f"region dimensions must be positive, got {self.width} x {self.height}")
+        if self.horizontal_capacity < 0 or self.vertical_capacity < 0:
+            raise ValueError("track capacities must be non-negative")
+
+    @property
+    def coord(self) -> RegionCoord:
+        """The (column, row) coordinate of this region."""
+        return (self.ix, self.iy)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Physical centre of the region in micrometres."""
+        return ((self.ix + 0.5) * self.width, (self.iy + 0.5) * self.height)
+
+    def capacity(self, direction: str) -> int:
+        """Track capacity in a direction (``HORIZONTAL`` or ``VERTICAL``)."""
+        if direction == HORIZONTAL:
+            return self.horizontal_capacity
+        if direction == VERTICAL:
+            return self.vertical_capacity
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def span(self, direction: str) -> float:
+        """Length a wire of the given direction has inside this region (um)."""
+        if direction == HORIZONTAL:
+            return self.width
+        if direction == VERTICAL:
+            return self.height
+        raise ValueError(f"unknown direction {direction!r}")
+
+
+class RoutingGrid:
+    """A uniform grid of routing regions covering the chip.
+
+    Parameters
+    ----------
+    num_cols / num_rows:
+        Grid dimensions (number of regions in x / y).
+    chip_width / chip_height:
+        Chip dimensions in micrometres.
+    horizontal_capacity / vertical_capacity:
+        Per-region track capacities (uniform across the grid).
+    track_pitch_um:
+        Physical pitch of one routing track in micrometres; used by the area
+        model when regions must grow to host extra tracks.
+    """
+
+    def __init__(
+        self,
+        num_cols: int,
+        num_rows: int,
+        chip_width: float,
+        chip_height: float,
+        horizontal_capacity: int,
+        vertical_capacity: int,
+        track_pitch_um: float = 1.0,
+    ) -> None:
+        if num_cols < 1 or num_rows < 1:
+            raise ValueError(f"grid must have at least one region, got {num_cols} x {num_rows}")
+        if chip_width <= 0.0 or chip_height <= 0.0:
+            raise ValueError("chip dimensions must be positive")
+        if horizontal_capacity < 1 or vertical_capacity < 1:
+            raise ValueError("track capacities must be at least 1")
+        if track_pitch_um <= 0.0:
+            raise ValueError("track pitch must be positive")
+        self.num_cols = num_cols
+        self.num_rows = num_rows
+        self.chip_width = float(chip_width)
+        self.chip_height = float(chip_height)
+        self.horizontal_capacity = horizontal_capacity
+        self.vertical_capacity = vertical_capacity
+        self.track_pitch_um = float(track_pitch_um)
+        self.region_width = self.chip_width / num_cols
+        self.region_height = self.chip_height / num_rows
+        self._regions: Dict[RegionCoord, Region] = {}
+        for ix in range(num_cols):
+            for iy in range(num_rows):
+                self._regions[(ix, iy)] = Region(
+                    ix=ix,
+                    iy=iy,
+                    width=self.region_width,
+                    height=self.region_height,
+                    horizontal_capacity=horizontal_capacity,
+                    vertical_capacity=vertical_capacity,
+                )
+
+    # -- lookup -----------------------------------------------------------
+
+    @property
+    def num_regions(self) -> int:
+        """Total number of regions."""
+        return self.num_cols * self.num_rows
+
+    def region(self, coord: RegionCoord) -> Region:
+        """The region at a (column, row) coordinate."""
+        if coord not in self._regions:
+            raise KeyError(f"region {coord} is outside the {self.num_cols}x{self.num_rows} grid")
+        return self._regions[coord]
+
+    def __contains__(self, coord: RegionCoord) -> bool:
+        return coord in self._regions
+
+    def regions(self) -> Iterator[Region]:
+        """Iterate over all regions (column-major)."""
+        return iter(self._regions.values())
+
+    def region_of_point(self, x: float, y: float) -> Region:
+        """The region containing a physical point (um); points on the far edge clamp inward."""
+        if not (0.0 <= x <= self.chip_width and 0.0 <= y <= self.chip_height):
+            raise ValueError(
+                f"point ({x}, {y}) lies outside the chip "
+                f"({self.chip_width} x {self.chip_height} um)"
+            )
+        ix = min(int(x / self.region_width), self.num_cols - 1)
+        iy = min(int(y / self.region_height), self.num_rows - 1)
+        return self._regions[(ix, iy)]
+
+    # -- adjacency ----------------------------------------------------------
+
+    def neighbors(self, coord: RegionCoord) -> List[RegionCoord]:
+        """Orthogonally adjacent region coordinates."""
+        ix, iy = coord
+        candidates = [(ix - 1, iy), (ix + 1, iy), (ix, iy - 1), (ix, iy + 1)]
+        return [candidate for candidate in candidates if candidate in self._regions]
+
+    @staticmethod
+    def edge_direction(coord_a: RegionCoord, coord_b: RegionCoord) -> str:
+        """Direction of the grid edge between two adjacent regions.
+
+        A horizontal edge connects horizontally adjacent regions (a wire
+        crossing it runs horizontally); a vertical edge connects vertically
+        adjacent regions.
+        """
+        ax, ay = coord_a
+        bx, by = coord_b
+        if abs(ax - bx) + abs(ay - by) != 1:
+            raise ValueError(f"regions {coord_a} and {coord_b} are not adjacent")
+        return HORIZONTAL if ay == by else VERTICAL
+
+    def edge_length(self, coord_a: RegionCoord, coord_b: RegionCoord) -> float:
+        """Physical length (um) of the wire crossing between two adjacent regions."""
+        direction = self.edge_direction(coord_a, coord_b)
+        return self.region_width if direction == HORIZONTAL else self.region_height
+
+    def bounding_box_regions(
+        self,
+        coords: List[RegionCoord],
+        margin: int = 0,
+    ) -> List[RegionCoord]:
+        """All region coordinates inside the bounding box of ``coords``.
+
+        ``margin`` expands the box by that many regions on every side (clipped
+        to the grid), which lets routers consider small detours outside the
+        strict pin bounding box.
+        """
+        if not coords:
+            raise ValueError("bounding box of an empty coordinate list is undefined")
+        min_x = max(min(ix for ix, _ in coords) - margin, 0)
+        max_x = min(max(ix for ix, _ in coords) + margin, self.num_cols - 1)
+        min_y = max(min(iy for _, iy in coords) - margin, 0)
+        max_y = min(max(iy for _, iy in coords) + margin, self.num_rows - 1)
+        return [
+            (ix, iy)
+            for ix in range(min_x, max_x + 1)
+            for iy in range(min_y, max_y + 1)
+        ]
+
+    def manhattan_distance_um(self, coord_a: RegionCoord, coord_b: RegionCoord) -> float:
+        """Manhattan distance between two region centres, in micrometres."""
+        ax, ay = coord_a
+        bx, by = coord_b
+        return abs(ax - bx) * self.region_width + abs(ay - by) * self.region_height
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingGrid({self.num_cols}x{self.num_rows}, "
+            f"chip={self.chip_width:.0f}x{self.chip_height:.0f}um, "
+            f"HC={self.horizontal_capacity}, VC={self.vertical_capacity})"
+        )

@@ -1,0 +1,139 @@
+"""Sensitivity relations between signal nets.
+
+Two nets are *sensitive* to each other when a switching event on one can make
+the other malfunction; the *sensitivity rate* of a net is the fraction of
+other signal nets it is sensitive to.  The paper's experiments draw this
+relation at random at a fixed rate (30 % or 50 %) because the real relation
+"depends on logic and physical implementation".
+
+Storing an explicit aggressor set per net is fine for small designs but grows
+quadratically, so two implementations of the same oracle interface are
+provided:
+
+* :class:`ExplicitSensitivity` — backed by a dictionary of aggressor sets
+  (used by tests, small examples and hand-built cases);
+* :class:`RandomPairwiseSensitivity` — a deterministic hash of the net-id
+  pair decides sensitivity, so arbitrarily large netlists cost O(1) memory
+  (used by the IBM-style benchmark generator).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+
+
+class SensitivityOracle(ABC):
+    """Query interface for the pairwise sensitivity relation."""
+
+    @abstractmethod
+    def are_sensitive(self, net_a: int, net_b: int) -> bool:
+        """True when the two nets are sensitive to each other."""
+
+    @abstractmethod
+    def rate_of(self, net_id: int, num_nets: int) -> float:
+        """Sensitivity rate of a net given the total number of signal nets."""
+
+    def aggressors_among(self, net_id: int, candidates: Iterable[int]) -> Set[int]:
+        """The subset of ``candidates`` that are sensitive to ``net_id``."""
+        return {
+            candidate
+            for candidate in candidates
+            if candidate != net_id and self.are_sensitive(net_id, candidate)
+        }
+
+    def local_sensitivity_map(self, net_ids: Iterable[int]) -> Dict[int, Set[int]]:
+        """Pairwise sensitivity restricted to a group of nets.
+
+        This is what per-region SINO needs: the relation among the nets that
+        actually share the region.
+        """
+        ids = list(dict.fromkeys(net_ids))
+        mapping: Dict[int, Set[int]] = {net_id: set() for net_id in ids}
+        for index, net_a in enumerate(ids):
+            for net_b in ids[index + 1:]:
+                if self.are_sensitive(net_a, net_b):
+                    mapping[net_a].add(net_b)
+                    mapping[net_b].add(net_a)
+        return mapping
+
+
+class ExplicitSensitivity(SensitivityOracle):
+    """Sensitivity stored as explicit aggressor sets (symmetrised)."""
+
+    def __init__(self, aggressors: Mapping[int, Set[int]]) -> None:
+        symmetric: Dict[int, Set[int]] = {}
+        for net_id, others in aggressors.items():
+            for other in others:
+                if other == net_id:
+                    continue
+                symmetric.setdefault(net_id, set()).add(other)
+                symmetric.setdefault(other, set()).add(net_id)
+        self._aggressors: Dict[int, FrozenSet[int]] = {
+            net_id: frozenset(others) for net_id, others in symmetric.items()
+        }
+
+    @classmethod
+    def empty(cls) -> "ExplicitSensitivity":
+        """An oracle under which no two nets are sensitive."""
+        return cls({})
+
+    def aggressors_of(self, net_id: int) -> FrozenSet[int]:
+        """The full aggressor set of a net."""
+        return self._aggressors.get(net_id, frozenset())
+
+    def are_sensitive(self, net_a: int, net_b: int) -> bool:
+        if net_a == net_b:
+            return False
+        return net_b in self._aggressors.get(net_a, frozenset())
+
+    def rate_of(self, net_id: int, num_nets: int) -> float:
+        if num_nets <= 1:
+            return 0.0
+        return len(self._aggressors.get(net_id, frozenset())) / (num_nets - 1)
+
+    def aggressors_among(self, net_id: int, candidates: Iterable[int]) -> Set[int]:
+        known = self._aggressors.get(net_id, frozenset())
+        return {candidate for candidate in candidates if candidate in known}
+
+
+class RandomPairwiseSensitivity(SensitivityOracle):
+    """Random sensitivity at a nominal rate, decided by a deterministic hash.
+
+    Each unordered pair of net ids maps, together with the seed, through a
+    64-bit mixing function to a uniform value in [0, 1); the pair is sensitive
+    when that value falls below ``rate``.  The relation is therefore symmetric,
+    reproducible, and needs no storage — exactly what the paper's "a signal
+    net is sensitive to random 30 % of other signal nets" assumption requires
+    at benchmark scale.
+    """
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sensitivity rate must lie in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+
+    def _mix(self, value: int) -> int:
+        # SplitMix64 finaliser: good avalanche behaviour, cheap, deterministic.
+        value = (value + 0x9E3779B97F4A7C15) & self._MASK
+        value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return (value ^ (value >> 31)) & self._MASK
+
+    def _pair_value(self, net_a: int, net_b: int) -> float:
+        low, high = (net_a, net_b) if net_a <= net_b else (net_b, net_a)
+        mixed = self._mix((low << 32) ^ high ^ self._mix(self.seed))
+        return mixed / float(1 << 64)
+
+    def are_sensitive(self, net_a: int, net_b: int) -> bool:
+        if net_a == net_b:
+            return False
+        return self._pair_value(net_a, net_b) < self.rate
+
+    def rate_of(self, net_id: int, num_nets: int) -> float:
+        # The expected rate equals the nominal rate; using the expectation
+        # keeps full-chip budgeting O(1) per net.
+        return self.rate

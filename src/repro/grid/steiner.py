@@ -1,0 +1,89 @@
+"""Rectilinear Steiner tree length estimation.
+
+Phase I of GSINO normalises routed wire length against "the estimated wire
+length of the Rectilinear Steiner Minimum Tree (RSMT) for the current net"
+(Formula 2).  Computing exact RSMTs is NP-hard; the estimates here follow
+common global-routing practice:
+
+* for 2–3 pins the half-perimeter wire length (HPWL) is exact,
+* for more pins a rectilinear Prim spanning tree gives an upper bound that is
+  within a few percent of the RSMT for the pin counts seen in the IBM
+  benchmarks, optionally tightened by the classical average RSMT/RMST ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.grid.nets import Pin
+
+#: Average RSMT / rectilinear-MST length ratio for random point sets.  The
+#: classical result (Hwang) bounds RSMT >= 2/3 * RMST; empirically the ratio
+#: is about 0.88 for uniformly random pins, which is the correction used by
+#: many wire-length estimators.
+RSMT_TO_RMST_RATIO = 0.88
+
+
+def hpwl(pins: Sequence[Pin]) -> float:
+    """Half-perimeter wire length of a pin set (um)."""
+    if not pins:
+        raise ValueError("HPWL of an empty pin set is undefined")
+    xs = [pin.x for pin in pins]
+    ys = [pin.y for pin in pins]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def prim_steiner_length(pins: Sequence[Pin]) -> float:
+    """Length of a rectilinear Prim spanning tree over the pins (um).
+
+    O(n^2), which is fine for global nets (a handful of pins each).
+    """
+    if not pins:
+        raise ValueError("spanning tree of an empty pin set is undefined")
+    if len(pins) == 1:
+        return 0.0
+    in_tree = [False] * len(pins)
+    in_tree[0] = True
+    best_distance = [pins[0].manhattan_distance(pin) for pin in pins]
+    total = 0.0
+    for _ in range(len(pins) - 1):
+        next_index = -1
+        next_distance = float("inf")
+        for index, pin_in_tree in enumerate(in_tree):
+            if pin_in_tree:
+                continue
+            if best_distance[index] < next_distance:
+                next_distance = best_distance[index]
+                next_index = index
+        in_tree[next_index] = True
+        total += next_distance
+        for index, pin_in_tree in enumerate(in_tree):
+            if pin_in_tree:
+                continue
+            distance = pins[next_index].manhattan_distance(pins[index])
+            if distance < best_distance[index]:
+                best_distance[index] = distance
+    return total
+
+
+def rsmt_length_estimate(pins: Sequence[Pin]) -> float:
+    """Estimated RSMT length of a pin set (um).
+
+    HPWL for up to three pins (exact), otherwise the Prim spanning tree length
+    scaled by the average RSMT/RMST ratio, never below the HPWL lower bound.
+    """
+    if not pins:
+        raise ValueError("RSMT estimate of an empty pin set is undefined")
+    if len(pins) <= 3:
+        return hpwl(pins)
+    spanning = prim_steiner_length(pins)
+    estimate = spanning * RSMT_TO_RMST_RATIO
+    return max(estimate, hpwl(pins))
+
+
+def steiner_ratio(pins: Sequence[Pin]) -> float:
+    """Ratio of the RSMT estimate to the HPWL lower bound (>= 1)."""
+    lower = hpwl(pins)
+    if lower == 0.0:
+        return 1.0
+    return rsmt_length_estimate(pins) / lower

@@ -1,0 +1,54 @@
+"""GSINO: global routing with simultaneous shield insertion and net ordering.
+
+This sub-package is the paper's primary contribution — the extended global
+routing problem (Formulation 1) and the three-phase heuristic that solves it:
+
+* **Phase I** (:mod:`repro.gsino.budgeting`, :mod:`repro.gsino.phase1`) —
+  uniform crosstalk budgeting followed by ID routing with shield-area
+  reservation and minimisation.
+* **Phase II** (:mod:`repro.gsino.phase2`) — a SINO solution inside every
+  routing region under the partitioned bounds.
+* **Phase III** (:mod:`repro.gsino.phase3`) — greedy local refinement: pass 1
+  removes the remaining crosstalk violations, pass 2 recovers congestion by
+  removing shields where slack allows.
+
+:mod:`repro.gsino.baselines` implements the two comparison flows of the
+paper's experiments (ID+NO and iSINO), :mod:`repro.gsino.metrics` the
+evaluation quantities behind Tables 1–3, and :mod:`repro.gsino.pipeline` the
+end-to-end drivers.
+"""
+
+from repro.gsino.config import GsinoConfig
+from repro.gsino.budgeting import NetBudget, compute_budgets
+from repro.gsino.metrics import (
+    CrosstalkReport,
+    FlowMetrics,
+    evaluate_crosstalk,
+    shields_by_region,
+)
+from repro.gsino.phase1 import Phase1Result, run_phase1
+from repro.gsino.phase2 import Phase2Result, run_phase2
+from repro.gsino.phase3 import Phase3Report, run_phase3
+from repro.gsino.pipeline import FlowResult, compare_flows, run_gsino
+from repro.gsino.baselines import run_id_no, run_isino
+
+__all__ = [
+    "GsinoConfig",
+    "NetBudget",
+    "compute_budgets",
+    "CrosstalkReport",
+    "FlowMetrics",
+    "evaluate_crosstalk",
+    "shields_by_region",
+    "Phase1Result",
+    "run_phase1",
+    "Phase2Result",
+    "run_phase2",
+    "Phase3Report",
+    "run_phase3",
+    "FlowResult",
+    "run_gsino",
+    "compare_flows",
+    "run_id_no",
+    "run_isino",
+]

@@ -1,0 +1,129 @@
+"""The two baseline flows of the paper's experiments: ID+NO and iSINO.
+
+* **ID+NO** — the ID router minimises wire length and congestion only (no
+  shield reservation in Formula 2), then net ordering runs inside each region
+  to remove as much capacitive coupling as possible.  No shields are inserted
+  and no inductive bound is enforced, which is why Table 1 finds 14–24 % of
+  nets violating the RLC crosstalk constraint.
+* **iSINO** — the same conventional routing, followed by a full SINO solve
+  inside every region.  Crosstalk is fixed, but because the router never knew
+  about shields the area overhead is much larger than GSINO's (Table 3).
+
+Both baselines share one routing run, as in the paper ("ID-based global
+router to minimize wire length and congestion only" for both).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.grid.nets import Netlist
+from repro.grid.regions import RoutingGrid
+from repro.gsino.budgeting import NetBudget, compute_budgets
+from repro.gsino.config import GsinoConfig
+from repro.gsino.metrics import compute_flow_metrics
+from repro.gsino.phase2 import run_phase2
+from repro.gsino.pipeline import FlowResult
+from repro.router.iterative_deletion import IterativeDeletionRouter
+
+
+def _route_baseline(grid: RoutingGrid, netlist: Netlist, config: GsinoConfig):
+    """One conventional ID routing run (no shield reservation)."""
+    router = IterativeDeletionRouter(grid, netlist, config=config.baseline_weights)
+    return router.route()
+
+
+def run_baseline_flows(
+    grid: RoutingGrid,
+    netlist: Netlist,
+    config: Optional[GsinoConfig] = None,
+    budgets: Optional[Dict[int, NetBudget]] = None,
+) -> Dict[str, FlowResult]:
+    """Run ID+NO and iSINO sharing a single conventional routing run."""
+    config = config or GsinoConfig()
+    if budgets is None:
+        budgets = compute_budgets(netlist, config)
+
+    start = time.perf_counter()
+    routing, router_report = _route_baseline(grid, netlist, config)
+    routing_time = time.perf_counter() - start
+
+    results: Dict[str, FlowResult] = {}
+
+    start = time.perf_counter()
+    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering")
+    metrics, congestion = compute_flow_metrics(routing, ordering.panels, config)
+    results["id_no"] = FlowResult(
+        name="id_no",
+        routing=routing,
+        panels=dict(ordering.panels),
+        budgets=budgets,
+        metrics=metrics,
+        congestion=congestion,
+        router_report=router_report,
+        runtime_seconds=routing_time + (time.perf_counter() - start),
+    )
+
+    start = time.perf_counter()
+    sino = run_phase2(routing, netlist, budgets, config, solver="sino")
+    metrics, congestion = compute_flow_metrics(routing, sino.panels, config)
+    results["isino"] = FlowResult(
+        name="isino",
+        routing=routing,
+        panels=dict(sino.panels),
+        budgets=budgets,
+        metrics=metrics,
+        congestion=congestion,
+        router_report=router_report,
+        runtime_seconds=routing_time + (time.perf_counter() - start),
+    )
+    return results
+
+
+def run_id_no(
+    grid: RoutingGrid,
+    netlist: Netlist,
+    config: Optional[GsinoConfig] = None,
+) -> FlowResult:
+    """Run only the ID+NO baseline."""
+    config = config or GsinoConfig()
+    budgets = compute_budgets(netlist, config)
+    start = time.perf_counter()
+    routing, router_report = _route_baseline(grid, netlist, config)
+    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering")
+    metrics, congestion = compute_flow_metrics(routing, ordering.panels, config)
+    return FlowResult(
+        name="id_no",
+        routing=routing,
+        panels=dict(ordering.panels),
+        budgets=budgets,
+        metrics=metrics,
+        congestion=congestion,
+        router_report=router_report,
+        runtime_seconds=time.perf_counter() - start,
+    )
+
+
+def run_isino(
+    grid: RoutingGrid,
+    netlist: Netlist,
+    config: Optional[GsinoConfig] = None,
+) -> FlowResult:
+    """Run only the iSINO baseline."""
+    config = config or GsinoConfig()
+    budgets = compute_budgets(netlist, config)
+    start = time.perf_counter()
+    routing, router_report = _route_baseline(grid, netlist, config)
+    sino = run_phase2(routing, netlist, budgets, config, solver="sino")
+    metrics, congestion = compute_flow_metrics(routing, sino.panels, config)
+    return FlowResult(
+        name="isino",
+        routing=routing,
+        panels=dict(sino.panels),
+        budgets=budgets,
+        metrics=metrics,
+        congestion=congestion,
+        router_report=router_report,
+        runtime_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,101 @@
+"""Phase I crosstalk budgeting: from a voltage bound to per-segment Kth.
+
+The uniform partitioning of Section 3.1:
+
+1. the per-sink crosstalk voltage bound is mapped to an LSK budget through the
+   inverse table lookup;
+2. the wire length of the final route is approximated by ``L_e,ij``, the
+   Manhattan distance between the source and the sink;
+3. the inductive coupling bound of every net segment on the source-to-sink
+   path is ``Kth = LSK / L_e,ij``;
+4. a segment shared by several source-sink paths takes the minimum of the
+   per-path bounds.
+
+Because budgeting happens before routing, the same per-net bound applies to
+every segment of the net; Phase III later redistributes bounds per region when
+detours make the uniform split too optimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.gsino.config import UM_TO_M, GsinoConfig
+from repro.grid.nets import Net, Netlist
+from repro.noise.lsk import LskModel
+
+
+@dataclass(frozen=True)
+class NetBudget:
+    """Crosstalk budget of one net.
+
+    Attributes
+    ----------
+    net_id:
+        The budgeted net.
+    lsk_budget:
+        LSK value corresponding to the sink noise bound (metre x coupling).
+    kth:
+        Uniform per-segment inductive coupling bound (the minimum over the
+        net's source-sink paths).
+    sink_path_lengths_m:
+        Estimated (Manhattan) source-to-sink lengths in metres, in sink order.
+    """
+
+    net_id: int
+    lsk_budget: float
+    kth: float
+    sink_path_lengths_m: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.lsk_budget <= 0.0:
+            raise ValueError(f"net {self.net_id}: LSK budget must be positive")
+        if self.kth <= 0.0:
+            raise ValueError(f"net {self.net_id}: Kth must be positive")
+
+
+def budget_for_net(
+    net: Net,
+    lsk_model: LskModel,
+    noise_bound: float,
+    length_scale: float = 1.0,
+    minimum_path_length_m: float = 1e-6,
+) -> NetBudget:
+    """Compute the uniform crosstalk budget of a single net."""
+    lsk_budget = lsk_model.lsk_budget(noise_bound)
+    lengths_m = []
+    for distance_um in net.source_sink_distances():
+        length = max(distance_um * UM_TO_M * length_scale, minimum_path_length_m)
+        lengths_m.append(length)
+    kth = min(lsk_budget / length for length in lengths_m)
+    return NetBudget(
+        net_id=net.net_id,
+        lsk_budget=lsk_budget,
+        kth=kth,
+        sink_path_lengths_m=tuple(lengths_m),
+    )
+
+
+def compute_budgets(
+    netlist: Netlist,
+    config: GsinoConfig,
+    lsk_model: Optional[LskModel] = None,
+) -> Dict[int, NetBudget]:
+    """Budgets for every net of a netlist under a configuration."""
+    model = lsk_model or config.lsk_model()
+    bound = config.resolved_bound()
+    budgets: Dict[int, NetBudget] = {}
+    for net in netlist.nets():
+        budgets[net.net_id] = budget_for_net(
+            net,
+            model,
+            bound,
+            length_scale=config.length_scale,
+        )
+    return budgets
+
+
+def bounds_for_nets(budgets: Mapping[int, NetBudget], net_ids) -> Dict[int, float]:
+    """Extract the per-segment Kth bounds of a group of nets."""
+    return {net_id: budgets[net_id].kth for net_id in net_ids if net_id in budgets}

@@ -1,0 +1,158 @@
+"""Configuration of the GSINO pipeline and its baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.noise.keff import DEFAULT_KEFF_MODEL, KeffModel
+from repro.noise.lsk import LskModel, LskTable, linear_reference_table
+from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+from repro.router.weights import WeightConfig
+from repro.sino.estimate import ShieldEstimator, default_shield_estimator
+from repro.tech.itrs import ITRS_100NM, Technology
+
+#: Micrometre to metre conversion used wherever grid lengths feed the LSK model.
+UM_TO_M = 1e-6
+
+
+@dataclass
+class GsinoConfig:
+    """All knobs of the GSINO flow and the two baseline flows.
+
+    Attributes
+    ----------
+    technology:
+        Technology node (supplies Vdd, the default crosstalk bound, the track
+        pitch used by the area model, and the LSK characterisation context).
+    crosstalk_bound:
+        Per-sink noise bound in volts; ``None`` uses the paper's 0.15 V
+        (about 15 % of Vdd) via the technology.
+    keff_model:
+        Keff model parameters shared by budgeting, SINO and evaluation.
+    lsk_table:
+        The LSK -> noise lookup table.  ``None`` selects behaviour based on
+        ``characterize_table``.
+    characterize_table:
+        When True (and no table was supplied) the table is built by running
+        the circuit-simulator characterisation sweep — the paper's procedure.
+        When False a deterministic linear reference table is used instead,
+        which keeps unit tests and quick experiments fast.
+    length_scale:
+        Electrical length multiplier applied to all physical lengths before
+        they enter the LSK model.  Scaled-down benchmark instances shrink
+        geometrically by ``sqrt(scale)``; setting ``length_scale`` to the
+        inverse restores full-size electrical behaviour so the crosstalk
+        regime of the paper is preserved (see DESIGN.md).
+    sino_effort:
+        ``"greedy"`` or ``"anneal"`` — effort level of every per-region SINO
+        solve.
+    gsino_weights / baseline_weights:
+        Formula 2 configurations for the GSINO router (shield reservation on)
+        and the baseline router (reservation off), respectively.
+    shield_estimator:
+        Formula 3 estimator used for reservation; ``None`` fits the default
+        one on first use.
+    refine_kth_shrink:
+        Pass 1 of Phase III multiplies a violating segment's regional bound by
+        this factor each inner iteration (must be in (0, 1)).
+    max_pass1_iterations:
+        Safety cap on Phase III pass 1 outer iterations.
+    max_pass2_regions:
+        How many congested regions pass 2 attempts to relax.
+    seed:
+        Seed for the stochastic pieces (annealing, table characterisation).
+    """
+
+    technology: Technology = ITRS_100NM
+    crosstalk_bound: Optional[float] = None
+    keff_model: KeffModel = DEFAULT_KEFF_MODEL
+    lsk_table: Optional[LskTable] = None
+    characterize_table: bool = False
+    table_samples: int = 120
+    length_scale: float = 1.0
+    sino_effort: str = "greedy"
+    gsino_weights: WeightConfig = field(default_factory=lambda: WeightConfig(reserve_shields=True))
+    baseline_weights: WeightConfig = field(default_factory=lambda: WeightConfig(reserve_shields=False))
+    shield_estimator: Optional[ShieldEstimator] = None
+    refine_kth_shrink: float = 0.7
+    max_pass1_iterations: int = 2000
+    max_pass2_regions: int = 200
+    seed: int = 2002
+
+    def __post_init__(self) -> None:
+        if self.crosstalk_bound is not None and self.crosstalk_bound <= 0.0:
+            raise ValueError(f"crosstalk_bound must be positive, got {self.crosstalk_bound}")
+        if self.length_scale <= 0.0:
+            raise ValueError(f"length_scale must be positive, got {self.length_scale}")
+        if self.sino_effort not in ("greedy", "anneal"):
+            raise ValueError(f"sino_effort must be 'greedy' or 'anneal', got {self.sino_effort!r}")
+        if not 0.0 < self.refine_kth_shrink < 1.0:
+            raise ValueError(f"refine_kth_shrink must lie in (0, 1), got {self.refine_kth_shrink}")
+        if self.max_pass1_iterations < 0 or self.max_pass2_regions < 0:
+            raise ValueError("Phase III iteration caps must be non-negative")
+        if self.table_samples < 4:
+            raise ValueError("table_samples must be at least 4")
+        self._lsk_model_cache: Optional[LskModel] = None
+
+    # -- resolved quantities --------------------------------------------------
+
+    def resolved_bound(self) -> float:
+        """The per-sink crosstalk bound in volts."""
+        if self.crosstalk_bound is not None:
+            return self.crosstalk_bound
+        return self.technology.default_crosstalk_bound()
+
+    def resolved_estimator(self) -> ShieldEstimator:
+        """The Formula 3 estimator used for shield-area reservation."""
+        if self.shield_estimator is not None:
+            return self.shield_estimator
+        return default_shield_estimator()
+
+    def lsk_model(self) -> LskModel:
+        """The LSK model (table + Keff parameters); built lazily and cached."""
+        if self._lsk_model_cache is not None:
+            return self._lsk_model_cache
+        if self.lsk_table is not None:
+            table = self.lsk_table
+        elif self.characterize_table:
+            builder = LskTableBuilder(
+                TableBuildConfig(
+                    technology=self.technology,
+                    keff_model=self.keff_model,
+                    num_samples=self.table_samples,
+                    seed=self.seed,
+                )
+            )
+            table = builder.build()
+        else:
+            table = default_reference_table(self.technology)
+        self._lsk_model_cache = LskModel(table=table, keff_model=self.keff_model)
+        return self._lsk_model_cache
+
+    def with_changes(self, **changes: object) -> "GsinoConfig":
+        """A copy of the configuration with selected fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def default_reference_table(technology: Technology = ITRS_100NM) -> LskTable:
+    """The deterministic linear LSK table used when characterisation is off.
+
+    Its slope is chosen so the paper's 0.15 V bound maps to an LSK budget of
+    ``2.3 x 750 um``: a typical full-size global net (750 um) surrounded by
+    several unshielded sensitive aggressors (total Keff coupling around 2.3)
+    sits exactly at the bound.  Calibrated this way, the conventional ID+NO
+    flow reproduces the paper's Table 1 regime — a minority (roughly 10–30 %)
+    of nets violate the bound, growing with the sensitivity rate — while
+    keeping quick experiments deterministic.  Pass ``characterize_table=True``
+    (or an explicit table) to use the circuit-simulator characterisation
+    instead.
+    """
+    reference_lsk = 2.3 * 750e-6
+    bound = technology.default_crosstalk_bound()
+    slope = bound / reference_lsk
+    return linear_reference_table(
+        slope=slope,
+        noise_floor=technology.crosstalk_noise_floor,
+        noise_ceiling=technology.crosstalk_noise_ceiling,
+    )

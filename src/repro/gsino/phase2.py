@@ -1,0 +1,122 @@
+"""Phase II: a SINO solution inside every routing region.
+
+After Phase I every net has a route tree and a per-segment bound ``Kth``.
+Phase II walks every (region, direction) panel, collects the net segments
+routed through it, restricts the sensitivity relation to those nets, and
+solves the SINO instance under the partitioned bounds (Section 3, Phase II —
+the SINO algorithm itself is the referenced He–Lepak heuristic, reproduced in
+:mod:`repro.sino`).
+
+The same function also serves the two baseline flows: ID+NO orders nets
+without shields (``solver="ordering"``), iSINO runs full SINO on the
+baseline routing (``solver="sino"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.grid.congestion import CongestionMap
+from repro.grid.nets import Netlist
+from repro.grid.routes import RoutingSolution
+from repro.gsino.budgeting import NetBudget, bounds_for_nets
+from repro.gsino.config import GsinoConfig
+from repro.gsino.metrics import PanelKey
+from repro.sino.anneal import solve_min_area_sino
+from repro.sino.net_ordering import net_ordering_only
+from repro.sino.panel import SinoProblem, SinoSolution
+
+
+@dataclass
+class Phase2Result:
+    """Per-region SINO (or net-ordering) solutions.
+
+    Attributes
+    ----------
+    panels:
+        Mapping from (region coordinate, direction) to the panel solution.
+    problems:
+        The SINO problem instance of each panel (Phase III re-solves them
+        under modified bounds).
+    """
+
+    panels: Dict[PanelKey, SinoSolution] = field(default_factory=dict)
+    problems: Dict[PanelKey, SinoProblem] = field(default_factory=dict)
+
+    @property
+    def total_shields(self) -> int:
+        """Total shield tracks over all panels."""
+        return sum(solution.num_shields for solution in self.panels.values())
+
+    def num_invalid_panels(self) -> int:
+        """Number of panels whose solution still violates a SINO constraint."""
+        return sum(1 for solution in self.panels.values() if not solution.is_valid())
+
+
+def build_panel_problem(
+    net_ids,
+    netlist: Netlist,
+    budgets: Mapping[int, NetBudget],
+    capacity: int,
+    config: GsinoConfig,
+) -> SinoProblem:
+    """Construct the SINO instance of one panel."""
+    nets = sorted(net_ids)
+    sensitivity = netlist.local_sensitivity_map(nets)
+    bounds = bounds_for_nets(budgets, nets)
+    return SinoProblem.build(
+        segments=nets,
+        sensitivity=sensitivity,
+        kth=bounds,
+        default_kth=max(bounds.values(), default=1.0),
+        capacity=capacity,
+        keff_model=config.keff_model,
+    )
+
+
+def run_phase2(
+    routing: RoutingSolution,
+    netlist: Netlist,
+    budgets: Mapping[int, NetBudget],
+    config: GsinoConfig,
+    solver: str = "sino",
+) -> Phase2Result:
+    """Solve every panel of a routing solution.
+
+    Parameters
+    ----------
+    routing:
+        The global routing whose panels are to be solved.
+    netlist:
+        Netlist supplying the sensitivity relation.
+    budgets:
+        Per-net crosstalk budgets (segment Kth bounds).
+    config:
+        Flow configuration (SINO effort, Keff model).
+    solver:
+        ``"sino"`` for simultaneous shield insertion and net ordering,
+        ``"ordering"`` for net ordering only (the ID+NO baseline).
+    """
+    if solver not in ("sino", "ordering"):
+        raise ValueError(f"unknown panel solver {solver!r} (expected 'sino' or 'ordering')")
+    congestion = CongestionMap.from_solution(routing)
+    result = Phase2Result()
+    for coord, direction, usage in congestion.entries():
+        if not usage.nets:
+            continue
+        problem = build_panel_problem(
+            usage.nets,
+            netlist,
+            budgets,
+            capacity=usage.capacity,
+            config=config,
+        )
+        if solver == "ordering":
+            solution = net_ordering_only(problem)
+        else:
+            solution = solve_min_area_sino(problem, effort=config.sino_effort)
+        key: PanelKey = (coord, direction)
+        result.problems[key] = problem
+        result.panels[key] = solution
+    return result

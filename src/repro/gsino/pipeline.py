@@ -1,0 +1,123 @@
+"""End-to-end flow drivers: GSINO and the flow-comparison harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.grid.congestion import CongestionMap
+from repro.grid.nets import Netlist
+from repro.grid.regions import RoutingGrid
+from repro.grid.routes import RoutingSolution
+from repro.gsino.budgeting import NetBudget, compute_budgets
+from repro.gsino.config import GsinoConfig
+from repro.gsino.metrics import FlowMetrics, PanelKey, compute_flow_metrics
+from repro.gsino.phase1 import run_phase1
+from repro.gsino.phase2 import Phase2Result, run_phase2
+from repro.gsino.phase3 import Phase3Report, run_phase3
+from repro.router.iterative_deletion import RouterReport
+from repro.sino.panel import SinoSolution
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow (ID+NO, iSINO or GSINO) produced on one instance.
+
+    Attributes
+    ----------
+    name:
+        Flow name: ``"id_no"``, ``"isino"`` or ``"gsino"``.
+    routing:
+        The global routing solution.
+    panels:
+        Per-(region, direction) panel solutions.
+    budgets:
+        The per-net crosstalk budgets used (identical across flows on the
+        same instance and configuration).
+    metrics:
+        The Table 1–3 quantities.
+    congestion:
+        Final congestion map (shields included).
+    router_report:
+        Statistics of the ID run.
+    phase3_report:
+        Present only for the GSINO flow.
+    runtime_seconds:
+        Wall-clock time of the flow.
+    """
+
+    name: str
+    routing: RoutingSolution
+    panels: Dict[PanelKey, SinoSolution]
+    budgets: Dict[int, NetBudget]
+    metrics: FlowMetrics
+    congestion: CongestionMap
+    router_report: RouterReport
+    phase3_report: Optional[Phase3Report] = None
+    runtime_seconds: float = 0.0
+
+    @property
+    def num_violations(self) -> int:
+        """Number of crosstalk-violating nets (Table 1)."""
+        return self.metrics.crosstalk.num_violations
+
+    @property
+    def average_wirelength_um(self) -> float:
+        """Average wire length per net (Table 2)."""
+        return self.metrics.average_wirelength_um
+
+    @property
+    def routing_area_um2(self) -> float:
+        """Routing area (Table 3)."""
+        return self.metrics.area.area
+
+
+def run_gsino(
+    grid: RoutingGrid,
+    netlist: Netlist,
+    config: Optional[GsinoConfig] = None,
+    budgets: Optional[Dict[int, NetBudget]] = None,
+) -> FlowResult:
+    """Run the complete three-phase GSINO flow on one routing instance."""
+    config = config or GsinoConfig()
+    start = time.perf_counter()
+
+    if budgets is None:
+        budgets = compute_budgets(netlist, config)
+    phase1 = run_phase1(grid, netlist, config, budgets=budgets)
+    phase2 = run_phase2(phase1.routing, netlist, budgets, config, solver="sino")
+    phase3_report = run_phase3(phase1.routing, phase2, budgets, netlist, config)
+    metrics, congestion = compute_flow_metrics(phase1.routing, phase2.panels, config)
+
+    return FlowResult(
+        name="gsino",
+        routing=phase1.routing,
+        panels=dict(phase2.panels),
+        budgets=budgets,
+        metrics=metrics,
+        congestion=congestion,
+        router_report=phase1.router_report,
+        phase3_report=phase3_report,
+        runtime_seconds=time.perf_counter() - start,
+    )
+
+
+def compare_flows(
+    grid: RoutingGrid,
+    netlist: Netlist,
+    config: Optional[GsinoConfig] = None,
+) -> Dict[str, FlowResult]:
+    """Run ID+NO, iSINO and GSINO on the same instance and configuration.
+
+    The two baselines share one baseline routing run (they differ only in the
+    per-region step), exactly as in the paper's experimental setup.
+    """
+    # Imported here to avoid a circular import (baselines uses FlowResult).
+    from repro.gsino.baselines import run_baseline_flows
+
+    config = config or GsinoConfig()
+    budgets = compute_budgets(netlist, config)
+    results = run_baseline_flows(grid, netlist, config, budgets=budgets)
+    results["gsino"] = run_gsino(grid, netlist, config, budgets=budgets)
+    return results

@@ -1,0 +1,158 @@
+"""Fidelity checks for the LSK model (Section 2.2 claims).
+
+The paper argues the Keff/LSK model is usable for routing because it has
+*fidelity* rather than accuracy: among solutions of equal wire length, a net
+with a larger model value also has a larger SPICE-computed noise voltage, and
+noise grows roughly linearly with wire length.  This module quantifies both
+claims against our circuit simulator so the reproduction can report them
+(benchmark ``M1`` in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.coupled_lines import CoupledLineConfig, WireRole, simulate_panel_noise
+from repro.noise.keff import DEFAULT_KEFF_MODEL, KeffModel
+from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+from repro.tech.driver import UniformInterfaceModel
+from repro.tech.itrs import ITRS_100NM, Technology
+
+
+def kendall_tau(first: Sequence[float], second: Sequence[float]) -> float:
+    """Kendall rank-correlation coefficient between two equal-length sequences.
+
+    Pairs tied in either sequence are skipped (tau-a over untied pairs); a
+    value of 1.0 means perfect rank agreement, which is exactly the "fidelity"
+    property the paper requires of the model.
+    """
+    x = list(first)
+    y = list(second)
+    if len(x) != len(y):
+        raise ValueError("sequences must have equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two observations")
+    concordant = 0
+    discordant = 0
+    for i in range(len(x)):
+        for j in range(i + 1, len(x)):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            product = dx * dy
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 0.0
+    return (concordant - discordant) / total
+
+
+def pearson_r(first: Sequence[float], second: Sequence[float]) -> float:
+    """Pearson linear-correlation coefficient."""
+    x = np.asarray(list(first), dtype=float)
+    y = np.asarray(list(second), dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two equal-length sequences with at least two points")
+    if np.std(x) == 0.0 or np.std(y) == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+@dataclass
+class FidelityReport:
+    """Summary of the model-vs-simulation fidelity study.
+
+    Attributes
+    ----------
+    rank_correlation:
+        Kendall tau between LSK values and simulated noise voltages across
+        random fixed-length panels (paper claim: high fidelity).
+    length_linearity:
+        Pearson correlation between wire length and simulated noise for a
+        fixed panel configuration (paper claim: noise roughly linear in
+        length).
+    num_samples:
+        Number of (panel, noise) samples behind ``rank_correlation``.
+    lengths_swept:
+        Wire lengths used for the linearity check.
+    """
+
+    rank_correlation: float
+    length_linearity: float
+    num_samples: int
+    lengths_swept: Tuple[float, ...]
+
+    def passes(self, min_rank: float = 0.6, min_linearity: float = 0.8) -> bool:
+        """Whether the study supports the paper's fidelity claims."""
+        return self.rank_correlation >= min_rank and self.length_linearity >= min_linearity
+
+
+def lsk_fidelity_report(
+    technology: Technology = ITRS_100NM,
+    keff_model: KeffModel = DEFAULT_KEFF_MODEL,
+    num_samples: int = 40,
+    fixed_length: float = 1.0e-3,
+    lengths: Optional[Sequence[float]] = None,
+    seed: int = 7,
+    segments_per_wire: int = 4,
+    num_steps: int = 300,
+) -> FidelityReport:
+    """Run the fidelity study of Section 2.2 against the circuit simulator.
+
+    Two experiments:
+
+    1. *Rank fidelity*: sample ``num_samples`` random panels of a fixed wire
+       length, compute each victim's LSK value and simulated noise, and report
+       the Kendall tau between the two.
+    2. *Length linearity*: take one moderately coupled panel pattern and sweep
+       the wire length, reporting the Pearson correlation between length and
+       simulated noise.
+    """
+    interface = UniformInterfaceModel.from_technology(technology)
+    build_config = TableBuildConfig(
+        technology=technology,
+        interface=interface,
+        keff_model=keff_model,
+        num_samples=max(num_samples, 4),
+        wire_lengths=(fixed_length,),
+        segments_per_wire=segments_per_wire,
+        num_steps=num_steps,
+        seed=seed,
+    )
+    builder = LskTableBuilder(build_config)
+    samples = builder.collect_samples()
+    lsk_values = [sample.lsk_value for sample in samples]
+    noise_values = [sample.noise_voltage for sample in samples]
+    rank = kendall_tau(lsk_values, noise_values)
+
+    if lengths is None:
+        lengths = (0.25e-3, 0.5e-3, 1.0e-3, 1.5e-3, 2.0e-3)
+    pattern: Tuple[WireRole, ...] = (
+        WireRole.AGGRESSOR,
+        WireRole.VICTIM,
+        WireRole.QUIET,
+        WireRole.AGGRESSOR,
+    )
+    noise_by_length: List[float] = []
+    for length in lengths:
+        config = CoupledLineConfig(
+            technology=technology,
+            interface=interface,
+            wire_length=length,
+            segments_per_wire=segments_per_wire,
+        )
+        noise, _ = simulate_panel_noise(config, pattern, num_steps=num_steps)
+        noise_by_length.append(noise)
+    linearity = pearson_r(list(lengths), noise_by_length)
+
+    return FidelityReport(
+        rank_correlation=rank,
+        length_linearity=linearity,
+        num_samples=len(samples),
+        lengths_swept=tuple(lengths),
+    )

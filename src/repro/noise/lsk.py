@@ -1,0 +1,263 @@
+"""The length-scaled Keff (LSK) model — Equation 1 of the paper.
+
+For a net ``N_i`` routed through regions ``R_j`` the LSK value is
+
+    LSK_i = sum_j  l_j * K_i^j
+
+where ``l_j`` is the length of the net inside region ``R_j`` and ``K_i^j`` its
+total Keff coupling inside that region.  The RLC crosstalk voltage is then
+obtained by looking the LSK value up in a pre-characterised table
+(100 entries, noise voltages spanning roughly 10 %–20 % of Vdd in the paper).
+
+This module provides the table datatype (forward and inverse interpolation)
+and the LSK computation; building the table from circuit simulations lives in
+:mod:`repro.noise.table_builder`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.noise.keff import DEFAULT_KEFF_MODEL, KeffModel, PanelOccupant, panel_couplings
+
+
+@dataclass(frozen=True)
+class RegionContribution:
+    """One term of the LSK sum: a net's presence in one routing region.
+
+    Attributes
+    ----------
+    region_id:
+        Identifier of the routing region (opaque to the model).
+    length:
+        Length of the net's segment inside the region, in metres.
+    coupling:
+        Total Keff coupling ``K_i^j`` of the net inside the region.
+    """
+
+    region_id: object
+    length: float
+    coupling: float
+
+    def __post_init__(self) -> None:
+        if self.length < 0.0:
+            raise ValueError(f"segment length must be non-negative, got {self.length}")
+        if self.coupling < 0.0:
+            raise ValueError(f"coupling must be non-negative, got {self.coupling}")
+
+    @property
+    def lsk_term(self) -> float:
+        """Contribution of this region to the net's LSK value."""
+        return self.length * self.coupling
+
+
+def compute_lsk(contributions: Iterable[RegionContribution]) -> float:
+    """Evaluate Equation 1: sum of length-scaled couplings over regions."""
+    return sum(contribution.lsk_term for contribution in contributions)
+
+
+class LskTable:
+    """The LSK -> crosstalk-voltage lookup table.
+
+    The table is a monotone non-decreasing mapping sampled at ``num_entries``
+    LSK points (the paper uses 100 entries covering noise voltages from 0.10 V
+    to 0.20 V).  Lookups interpolate linearly between entries; values below
+    the first entry extrapolate linearly towards the origin (zero coupling
+    gives zero noise) and values above the last entry extrapolate with the
+    slope of the final segment.
+    """
+
+    def __init__(self, lsk_values: Sequence[float], noise_values: Sequence[float]) -> None:
+        lsk = np.asarray(list(lsk_values), dtype=float)
+        noise = np.asarray(list(noise_values), dtype=float)
+        if lsk.ndim != 1 or noise.ndim != 1 or lsk.size != noise.size:
+            raise ValueError("lsk_values and noise_values must be 1-D sequences of equal length")
+        if lsk.size < 2:
+            raise ValueError("an LSK table needs at least two entries")
+        if np.any(lsk < 0.0) or np.any(noise < 0.0):
+            raise ValueError("LSK and noise values must be non-negative")
+        order = np.argsort(lsk)
+        lsk = lsk[order]
+        noise = noise[order]
+        if np.any(np.diff(lsk) <= 0.0):
+            raise ValueError("LSK sample points must be strictly increasing")
+        if np.any(np.diff(noise) < -1e-12):
+            raise ValueError("noise values must be non-decreasing in LSK")
+        self._lsk = lsk
+        self._noise = np.maximum.accumulate(noise)
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Number of table entries."""
+        return int(self._lsk.size)
+
+    @property
+    def lsk_values(self) -> np.ndarray:
+        """Copy of the LSK sample points."""
+        return self._lsk.copy()
+
+    @property
+    def noise_values(self) -> np.ndarray:
+        """Copy of the noise voltages at the sample points."""
+        return self._noise.copy()
+
+    @property
+    def noise_range(self) -> Tuple[float, float]:
+        """(lowest, highest) tabulated noise voltage."""
+        return float(self._noise[0]), float(self._noise[-1])
+
+    # -- forward lookup ------------------------------------------------------
+
+    def noise_for(self, lsk_value: float) -> float:
+        """Crosstalk voltage predicted for an LSK value.
+
+        Linear interpolation inside the table, linear extrapolation through
+        the origin below it, and linear extrapolation of the last segment
+        above it (clamped to be non-negative).
+        """
+        if lsk_value < 0.0:
+            raise ValueError(f"LSK values are non-negative, got {lsk_value}")
+        if lsk_value <= self._lsk[0]:
+            if self._lsk[0] == 0.0:
+                return float(self._noise[0])
+            return float(self._noise[0] * lsk_value / self._lsk[0])
+        if lsk_value >= self._lsk[-1]:
+            slope = (self._noise[-1] - self._noise[-2]) / (self._lsk[-1] - self._lsk[-2])
+            return float(self._noise[-1] + slope * (lsk_value - self._lsk[-1]))
+        return float(np.interp(lsk_value, self._lsk, self._noise))
+
+    # -- inverse lookup ------------------------------------------------------
+
+    def lsk_for_noise(self, noise_voltage: float) -> float:
+        """Largest LSK value whose predicted noise stays at or below a bound.
+
+        This is the inverse lookup Phase I of GSINO uses to turn the per-sink
+        crosstalk voltage bound (e.g. 0.15 V) into an LSK budget.
+        """
+        if noise_voltage <= 0.0:
+            raise ValueError(f"noise bound must be positive, got {noise_voltage}")
+        if noise_voltage <= self._noise[0]:
+            if self._noise[0] == 0.0:
+                return float(self._lsk[0])
+            return float(self._lsk[0] * noise_voltage / self._noise[0])
+        if noise_voltage >= self._noise[-1]:
+            slope = (self._noise[-1] - self._noise[-2]) / (self._lsk[-1] - self._lsk[-2])
+            if slope <= 0.0:
+                return float(self._lsk[-1])
+            return float(self._lsk[-1] + (noise_voltage - self._noise[-1]) / slope)
+        # np.interp on the swapped axes needs strictly increasing noise; make
+        # it so by nudging flat segments (the table is non-decreasing).
+        noise = self._noise.copy()
+        for index in range(1, noise.size):
+            if noise[index] <= noise[index - 1]:
+                noise[index] = noise[index - 1] + 1e-15
+        return float(np.interp(noise_voltage, noise, self._lsk))
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict form (JSON serialisable)."""
+        return {
+            "lsk_values": [float(v) for v in self._lsk],
+            "noise_values": [float(v) for v in self._noise],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[float]]) -> "LskTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        return cls(lsk_values=data["lsk_values"], noise_values=data["noise_values"])
+
+    def save(self, path: Path) -> None:
+        """Write the table to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Path) -> "LskTable":
+        """Read a table previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        low, high = self.noise_range
+        return f"LskTable(entries={self.num_entries}, noise={low:.3f}V..{high:.3f}V)"
+
+
+@dataclass(frozen=True)
+class LskModel:
+    """The complete LSK noise model: a Keff model plus a lookup table.
+
+    This is the object the router and the refinement phases consult: it turns
+    panel occupancies and per-region segment lengths into a noise voltage per
+    net, and turns a voltage bound into LSK / Keff budgets.
+    """
+
+    table: LskTable
+    keff_model: KeffModel = DEFAULT_KEFF_MODEL
+
+    def lsk_of(self, contributions: Iterable[RegionContribution]) -> float:
+        """LSK value of a net given its per-region contributions."""
+        return compute_lsk(contributions)
+
+    def noise_of(self, contributions: Iterable[RegionContribution]) -> float:
+        """Noise voltage of a net given its per-region contributions."""
+        return self.table.noise_for(self.lsk_of(contributions))
+
+    def lsk_budget(self, noise_bound: float) -> float:
+        """LSK budget corresponding to a per-sink noise bound."""
+        return self.table.lsk_for_noise(noise_bound)
+
+    def coupling_budget(self, noise_bound: float, path_length: float) -> float:
+        """Per-segment Keff bound (``Kth``) for a source-sink path.
+
+        Implements the Phase I uniform partitioning: ``Kth = LSK / L`` where
+        ``L`` is the (estimated) source-to-sink path length.
+        """
+        if path_length <= 0.0:
+            raise ValueError(f"path_length must be positive, got {path_length}")
+        return self.lsk_budget(noise_bound) / path_length
+
+    def panel_noise(
+        self,
+        occupants: Sequence[PanelOccupant],
+        sensitivity: Mapping[int, Set[int]],
+        length: float,
+    ) -> Dict[int, float]:
+        """Noise voltage of every net in a single panel of the given length.
+
+        Convenience helper for single-region studies and tests: each net's
+        LSK value is just ``length * K_i`` because it crosses one region.
+        """
+        couplings = panel_couplings(occupants, sensitivity, model=self.keff_model)
+        return {
+            net_id: self.table.noise_for(length * coupling)
+            for net_id, coupling in couplings.items()
+        }
+
+
+def linear_reference_table(
+    slope: float,
+    noise_floor: float = 0.10,
+    noise_ceiling: float = 0.20,
+    num_entries: int = 100,
+) -> LskTable:
+    """An analytically linear LSK table, mainly for tests and quick studies.
+
+    ``noise = slope * LSK`` sampled so the tabulated noise runs from
+    ``noise_floor`` to ``noise_ceiling`` over ``num_entries`` entries, the
+    same shape as the characterised table in the paper.
+    """
+    if slope <= 0.0:
+        raise ValueError(f"slope must be positive, got {slope}")
+    if not 0.0 < noise_floor < noise_ceiling:
+        raise ValueError("need 0 < noise_floor < noise_ceiling")
+    if num_entries < 2:
+        raise ValueError("num_entries must be >= 2")
+    noise = np.linspace(noise_floor, noise_ceiling, num_entries)
+    lsk = noise / slope
+    return LskTable(lsk_values=lsk, noise_values=noise)

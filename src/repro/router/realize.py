@@ -1,0 +1,76 @@
+"""Turning the final connection graphs into route trees.
+
+When iterative deletion stops, each net's graph is a forest in which all pin
+regions are connected; it may still carry dangling branches whose leaves are
+not pin regions (edges that were never worth deleting explicitly).  Pruning
+removes those branches and any stray components without pins, producing the
+Steiner tree over the pin regions that the rest of the flow consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.grid.regions import RegionCoord
+from repro.grid.routes import GridEdge, RouteTree, normalize_edge
+from repro.router.connection_graph import ConnectionGraph
+
+
+def prune_to_tree(graph: ConnectionGraph) -> RouteTree:
+    """Prune a final connection graph down to its pin-spanning tree.
+
+    Repeatedly removes degree-one vertices that are not pin regions, then
+    drops every component that contains no pin region.  Raises ``ValueError``
+    if the pins are not connected (the router guarantees they are).
+    """
+    if not graph.pins_connected():
+        raise ValueError(
+            f"net {graph.net_id}: pin regions are disconnected, cannot realise a route tree"
+        )
+    adjacency: Dict[RegionCoord, Set[RegionCoord]] = {}
+    for edge in graph.edges():
+        coord_a, coord_b = edge
+        adjacency.setdefault(coord_a, set()).add(coord_b)
+        adjacency.setdefault(coord_b, set()).add(coord_a)
+    for pin in graph.pin_regions:
+        adjacency.setdefault(pin, set())
+
+    pins = set(graph.pin_regions)
+
+    # Iteratively strip non-pin leaves.
+    leaves: List[RegionCoord] = [
+        coord for coord, neighbours in adjacency.items()
+        if len(neighbours) <= 1 and coord not in pins
+    ]
+    while leaves:
+        leaf = leaves.pop()
+        neighbours = adjacency.pop(leaf, set())
+        for neighbour in neighbours:
+            adjacency[neighbour].discard(leaf)
+            if len(adjacency[neighbour]) <= 1 and neighbour not in pins:
+                leaves.append(neighbour)
+
+    # Keep only the component(s) containing pins (after pruning there is one).
+    reachable: Set[RegionCoord] = set()
+    stack: List[RegionCoord] = [pin for pin in pins if pin in adjacency]
+    reachable.update(stack)
+    while stack:
+        current = stack.pop()
+        for neighbour in adjacency.get(current, set()):
+            if neighbour not in reachable:
+                reachable.add(neighbour)
+                stack.append(neighbour)
+
+    edges: Set[GridEdge] = set()
+    for coord, neighbours in adjacency.items():
+        if coord not in reachable:
+            continue
+        for neighbour in neighbours:
+            if neighbour in reachable:
+                edges.add(normalize_edge(coord, neighbour))
+
+    return RouteTree(
+        net_id=graph.net_id,
+        pin_regions=graph.pin_regions,
+        edges=frozenset(edges),
+    )

@@ -1,0 +1,88 @@
+"""The ID router's edge weight — Formula 2 of the paper.
+
+For a horizontal edge ``e`` of a net the weight is
+
+    w(e) = alpha * f(WL) + beta * HD(R) + gamma * HOFR(R)
+
+with ``f(WL)`` the wire length the edge represents normalised by the net's
+estimated RSMT length, ``HD`` the routing density ``HU / HC`` of the regions
+the edge occupies, and ``HOFR`` their relative overflow.  The utilisation
+``HU = Nns + Nss`` includes the shields predicted by Formula 3 when shield
+reservation is enabled (GSINO Phase I) and only the net segments otherwise
+(the ID+NO / iSINO baselines).  The paper sets ``alpha = 2``, ``beta = 1``,
+``gamma = 50`` so that virtually no overflow survives in the final solution;
+those are the defaults here as well.  Vertical edges use the same formula
+with the vertical capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WeightConfig:
+    """Formula 2 coefficients and options.
+
+    Attributes
+    ----------
+    alpha / beta / gamma:
+        Weights of the wire-length, density and overflow terms (paper values
+        2, 1 and 50).
+    reserve_shields:
+        When True the density and overflow terms include the Formula 3 shield
+        estimate (``Nss``); when False they count net segments only, which is
+        how the ID+NO and iSINO baselines are configured "in order to make
+        fair comparisons".
+    bounding_box_margin:
+        How many regions beyond the pin bounding box each net may use.
+    weight_tolerance:
+        Relative staleness the router tolerates before re-queueing a heap
+        entry whose weight has decreased.  0 reproduces exact max-weight
+        deletion order; the small default trades a slightly approximate order
+        for far fewer heap re-pushes on large designs.
+    """
+
+    alpha: float = 2.0
+    beta: float = 1.0
+    gamma: float = 50.0
+    reserve_shields: bool = True
+    bounding_box_margin: int = 0
+    weight_tolerance: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0.0 or self.beta < 0.0 or self.gamma < 0.0:
+            raise ValueError("Formula 2 coefficients must be non-negative")
+        if self.bounding_box_margin < 0:
+            raise ValueError("bounding_box_margin must be non-negative")
+        if self.weight_tolerance < 0.0:
+            raise ValueError("weight_tolerance must be non-negative")
+
+
+def edge_weight(
+    config: WeightConfig,
+    normalized_length: float,
+    density: float,
+    relative_overflow: float,
+) -> float:
+    """Evaluate Formula 2 for one edge.
+
+    Parameters
+    ----------
+    config:
+        Coefficient set.
+    normalized_length:
+        ``f(WL)``: the edge's wire length divided by the net's estimated RSMT
+        length.
+    density:
+        ``HD``: utilisation over capacity of the regions the edge occupies.
+    relative_overflow:
+        ``HOFR``: overflow over capacity of the regions the edge occupies.
+    """
+    if normalized_length < 0.0:
+        raise ValueError(f"normalized_length must be non-negative, got {normalized_length}")
+    if density < 0.0:
+        raise ValueError(f"density must be non-negative, got {density}")
+    if relative_overflow < 0.0:
+        raise ValueError(f"relative_overflow must be non-negative, got {relative_overflow}")
+    return config.alpha * normalized_length + config.beta * density + config.gamma * relative_overflow

@@ -1,0 +1,171 @@
+"""Simulated-annealing improvement of SINO solutions (min-area search).
+
+The greedy constructor (:mod:`repro.sino.greedy`) produces a feasible layout
+quickly but may use more shields than necessary.  Since SINO is NP-hard, the
+paper's referenced solver and this reproduction both rely on stochastic
+improvement to approach the minimum-area solution.  The annealer perturbs a
+layout with four move types — swapping two tracks, relocating a shield,
+deleting a shield and inserting a shield — and accepts uphill moves with the
+usual Metropolis criterion.
+
+The cost function puts a large weight on constraint violations, a unit weight
+per shield track and a medium weight per overflow track, so the search drives
+towards *feasible* layouts first and *small* layouts second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sino.greedy import greedy_sino
+from repro.sino.panel import SHIELD, SinoProblem, SinoSolution
+
+
+@dataclass(frozen=True)
+class AnnealConfig:
+    """Annealing schedule and cost weights.
+
+    Attributes
+    ----------
+    iterations:
+        Number of proposed moves.
+    initial_temperature / final_temperature:
+        Geometric cooling endpoints (in cost units).
+    capacitive_weight:
+        Cost of each adjacent sensitive pair.
+    inductive_weight:
+        Cost per unit of Kth excess.
+    shield_weight:
+        Cost per shield track (the area objective).
+    overflow_weight:
+        Cost per track beyond the region capacity.
+    seed:
+        Random seed for reproducibility.
+    """
+
+    iterations: int = 1500
+    initial_temperature: float = 4.0
+    final_temperature: float = 0.05
+    capacitive_weight: float = 100.0
+    inductive_weight: float = 50.0
+    shield_weight: float = 1.0
+    overflow_weight: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.initial_temperature <= 0.0 or self.final_temperature <= 0.0:
+            raise ValueError("temperatures must be positive")
+        if self.final_temperature > self.initial_temperature:
+            raise ValueError("final_temperature must not exceed initial_temperature")
+
+    def temperature_at(self, step: int) -> float:
+        """Geometric cooling schedule evaluated at a step index."""
+        if self.iterations == 1:
+            return self.initial_temperature
+        ratio = self.final_temperature / self.initial_temperature
+        fraction = step / (self.iterations - 1)
+        return self.initial_temperature * ratio ** fraction
+
+
+def solution_cost(solution: SinoSolution, config: AnnealConfig) -> float:
+    """Weighted cost of a layout (lower is better, feasibility dominates)."""
+    capacitive = len(solution.capacitive_violation_pairs())
+    inductive = sum(solution.inductive_violations().values())
+    return (
+        config.capacitive_weight * capacitive
+        + config.inductive_weight * inductive
+        + config.shield_weight * solution.num_shields
+        + config.overflow_weight * solution.overflow
+    )
+
+
+def _propose(solution: SinoSolution, rng: np.random.Generator) -> SinoSolution:
+    """Return a perturbed copy of ``solution`` using one random move."""
+    candidate = solution.copy()
+    layout = candidate.layout
+    move = rng.random()
+    if move < 0.4 and len(layout) >= 2:
+        # Swap two tracks.
+        i, j = rng.choice(len(layout), size=2, replace=False)
+        layout[i], layout[j] = layout[j], layout[i]
+    elif move < 0.6 and candidate.num_shields > 0:
+        # Relocate one shield to a random gap.
+        shield_positions = [index for index, entry in enumerate(layout) if entry is SHIELD]
+        position = int(rng.choice(shield_positions))
+        layout.pop(position)
+        gap = int(rng.integers(0, len(layout) + 1))
+        layout.insert(gap, SHIELD)
+    elif move < 0.8 and candidate.num_shields > 0:
+        # Delete one shield.
+        shield_positions = [index for index, entry in enumerate(layout) if entry is SHIELD]
+        layout.pop(int(rng.choice(shield_positions)))
+    else:
+        # Insert a shield at a random gap.
+        gap = int(rng.integers(0, len(layout) + 1))
+        layout.insert(gap, SHIELD)
+    return candidate
+
+
+def anneal_sino(
+    problem: SinoProblem,
+    initial: Optional[SinoSolution] = None,
+    config: Optional[AnnealConfig] = None,
+) -> SinoSolution:
+    """Anneal a SINO layout, returning the best feasible layout encountered.
+
+    If no feasible layout is ever seen, the lowest-cost layout is returned
+    instead (the caller can check ``is_valid``).
+    """
+    config = config or AnnealConfig()
+    rng = np.random.default_rng(config.seed)
+    current = (initial or greedy_sino(problem)).copy()
+    current_cost = solution_cost(current, config)
+    best = current.compact()
+    best_cost = solution_cost(best, config)
+    best_valid: Optional[SinoSolution] = best if best.is_valid() else None
+
+    for step in range(config.iterations):
+        temperature = config.temperature_at(step)
+        candidate = _propose(current, rng)
+        candidate_cost = solution_cost(candidate, config)
+        delta = candidate_cost - current_cost
+        if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+            current = candidate
+            current_cost = candidate_cost
+            compacted = current.compact()
+            compacted_cost = solution_cost(compacted, config)
+            if compacted_cost < best_cost:
+                best = compacted
+                best_cost = compacted_cost
+            if compacted.is_valid():
+                if best_valid is None or compacted.num_shields < best_valid.num_shields:
+                    best_valid = compacted
+    return best_valid if best_valid is not None else best
+
+
+def solve_min_area_sino(
+    problem: SinoProblem,
+    effort: str = "greedy",
+    config: Optional[AnnealConfig] = None,
+) -> SinoSolution:
+    """Solve one SINO instance at a chosen effort level.
+
+    ``effort`` is one of:
+
+    * ``"greedy"`` — constructive heuristic only (fast, used per-region at
+      full-chip scale),
+    * ``"anneal"`` — greedy construction followed by simulated annealing
+      (slower, closer to minimum area; used when fitting Formula 3 and in the
+      single-region studies).
+    """
+    if effort == "greedy":
+        return greedy_sino(problem)
+    if effort == "anneal":
+        return anneal_sino(problem, config=config)
+    raise ValueError(f"unknown SINO effort level {effort!r} (expected 'greedy' or 'anneal')")

@@ -1,0 +1,78 @@
+"""Validation of SINO solutions against the two RLC crosstalk constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sino.panel import SinoSolution
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one SINO solution.
+
+    Attributes
+    ----------
+    capacitive_pairs:
+        Adjacent sensitive pairs found (empty when capacitive-crosstalk free).
+    inductive_excess:
+        Segments whose Keff coupling exceeds their Kth bound, mapped to the
+        amount of excess.
+    num_tracks / num_shields / overflow:
+        Area bookkeeping for reporting.
+    """
+
+    capacitive_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    inductive_excess: Dict[int, float] = field(default_factory=dict)
+    num_tracks: int = 0
+    num_shields: int = 0
+    overflow: int = 0
+
+    @property
+    def is_valid(self) -> bool:
+        """True when both constraint families are satisfied."""
+        return not self.capacitive_pairs and not self.inductive_excess
+
+    @property
+    def num_violating_segments(self) -> int:
+        """Number of distinct segments involved in any violation."""
+        violating = set(self.inductive_excess)
+        for first, second in self.capacitive_pairs:
+            violating.add(first)
+            violating.add(second)
+        return len(violating)
+
+    def worst_inductive_excess(self) -> float:
+        """Largest Kth excess (0.0 when there is none)."""
+        if not self.inductive_excess:
+            return 0.0
+        return max(self.inductive_excess.values())
+
+
+def check_solution(solution: SinoSolution) -> CheckResult:
+    """Evaluate both SINO constraints and the area bookkeeping of a solution."""
+    return CheckResult(
+        capacitive_pairs=solution.capacitive_violation_pairs(),
+        inductive_excess=solution.inductive_violations(),
+        num_tracks=solution.num_tracks,
+        num_shields=solution.num_shields,
+        overflow=solution.overflow,
+    )
+
+
+def assert_valid(solution: SinoSolution) -> None:
+    """Raise ``AssertionError`` with a readable message if a solution is invalid.
+
+    Convenience for tests and for the GSINO pipeline's internal sanity checks.
+    """
+    result = check_solution(solution)
+    if result.is_valid:
+        return
+    problems: List[str] = []
+    if result.capacitive_pairs:
+        problems.append(f"adjacent sensitive pairs: {result.capacitive_pairs}")
+    if result.inductive_excess:
+        worst = sorted(result.inductive_excess.items(), key=lambda item: -item[1])[:5]
+        problems.append(f"inductive bound excess (worst first): {worst}")
+    raise AssertionError("invalid SINO solution: " + "; ".join(problems))

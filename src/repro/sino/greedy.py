@@ -1,0 +1,154 @@
+"""Greedy constructive SINO solver.
+
+The construction follows the spirit of the original SINO heuristic (reference
+[4] of the paper):
+
+1. order the net segments so mutually sensitive segments are kept apart where
+   possible (net ordering),
+2. insert a shield between any remaining adjacent sensitive pair (capacitive
+   constraint becomes satisfied by construction),
+3. while some segment exceeds its inductive bound ``Kth``, insert one more
+   shield at the gap that reduces the total excess the most.
+
+The result is feasible whenever a feasible solution exists within the shield
+budget guard; it is not necessarily minimum-area, which is what the annealing
+improver in :mod:`repro.sino.anneal` is for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sino.panel import SHIELD, SinoProblem, SinoSolution
+
+
+def greedy_order(problem: SinoProblem) -> List[int]:
+    """Order the segments so sensitive pairs are separated where possible.
+
+    Strategy: place the most-constrained (highest sensitivity degree) segment
+    first, then repeatedly append a segment that is *not* sensitive to the one
+    just placed, preferring the most constrained among the candidates so the
+    easy segments remain available as separators.  When every remaining
+    segment is sensitive to the last one, the most constrained is appended
+    anyway (a shield will be inserted later).
+    """
+    remaining = sorted(
+        problem.segments,
+        key=lambda segment: (-problem.sensitivity_degree(segment), segment),
+    )
+    if not remaining:
+        return []
+    order: List[int] = [remaining.pop(0)]
+    while remaining:
+        last = order[-1]
+        compatible = [
+            segment for segment in remaining
+            if segment not in problem.aggressors_of(last)
+        ]
+        pool = compatible if compatible else remaining
+        chosen = max(pool, key=lambda segment: (problem.sensitivity_degree(segment), -segment))
+        remaining.remove(chosen)
+        order.append(chosen)
+    return order
+
+
+def insert_capacitive_shields(problem: SinoProblem, order: Sequence[int]) -> List[Optional[int]]:
+    """Insert a shield between every adjacent sensitive pair of an ordering."""
+    layout: List[Optional[int]] = []
+    for segment in order:
+        if layout:
+            last = layout[-1]
+            if last is not SHIELD and segment in problem.aggressors_of(last):
+                layout.append(SHIELD)
+        layout.append(segment)
+    return layout
+
+
+def _candidate_gaps(layout: List[Optional[int]], violating: List[int]) -> List[int]:
+    """Gap indices worth trying for the next shield.
+
+    Only gaps directly adjacent to a violating segment can reduce that
+    segment's coupling appreciably (the Keff model is dominated by the nearest
+    aggressors), so the search is restricted to those gaps.  Gaps already
+    flanked by shields on both sides are skipped.
+    """
+    violating_set = set(violating)
+    gaps: List[int] = []
+    seen = set()
+    for position, entry in enumerate(layout):
+        if entry is SHIELD or entry not in violating_set:
+            continue
+        for gap in (position, position + 1):
+            if gap in seen:
+                continue
+            left = layout[gap - 1] if gap > 0 else SHIELD
+            right = layout[gap] if gap < len(layout) else SHIELD
+            if left is SHIELD and right is SHIELD:
+                continue
+            seen.add(gap)
+            gaps.append(gap)
+    return gaps
+
+
+def _best_shield_gap(solution: SinoSolution) -> Optional[int]:
+    """Gap index whose shield insertion reduces the total inductive excess most.
+
+    Returns ``None`` when no insertion reduces the excess (within tolerance).
+    """
+    evaluator = solution.problem.evaluator()
+    baseline = evaluator.total_excess(solution.layout)
+    if baseline <= 0.0:
+        return None
+    violating = evaluator.violating_segments(solution.layout)
+    best_gap: Optional[int] = None
+    best_excess = baseline
+    for gap in _candidate_gaps(solution.layout, violating):
+        candidate_layout = list(solution.layout)
+        candidate_layout.insert(gap, SHIELD)
+        excess = evaluator.total_excess(candidate_layout)
+        if excess < best_excess - 1e-12:
+            best_excess = excess
+            best_gap = gap
+    return best_gap
+
+
+def fix_inductive_violations(solution: SinoSolution, max_extra_shields: Optional[int] = None) -> SinoSolution:
+    """Add shields one at a time until every inductive bound holds.
+
+    Parameters
+    ----------
+    solution:
+        Starting layout (already capacitive-crosstalk free).
+    max_extra_shields:
+        Safety guard on how many shields may be added; defaults to twice the
+        number of segments plus two, which is enough to fully isolate every
+        segment.
+
+    Returns
+    -------
+    SinoSolution
+        A new solution.  If the guard is reached before feasibility, the best
+        layout found is returned and the caller decides what to do with the
+        residual violations (Phase III handles that case).
+    """
+    if max_extra_shields is None:
+        max_extra_shields = 2 * solution.num_segments + 2
+    current = solution.copy()
+    evaluator = current.problem.evaluator()
+    for _ in range(max_extra_shields):
+        if evaluator.total_excess(current.layout) <= 0.0:
+            break
+        gap = _best_shield_gap(current)
+        if gap is None:
+            break
+        current.layout.insert(gap, SHIELD)
+    return current
+
+
+def greedy_sino(problem: SinoProblem) -> SinoSolution:
+    """Run the full greedy construction for one panel."""
+    order = greedy_order(problem)
+    layout = insert_capacitive_shields(problem, order)
+    solution = SinoSolution(problem=problem, layout=layout)
+    solution = fix_inductive_violations(solution)
+    return solution.compact()

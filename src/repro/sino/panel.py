@@ -1,0 +1,309 @@
+"""Problem and solution datatypes for single-region SINO.
+
+A *panel* is the ordered set of parallel tracks of one routing region in one
+direction (horizontal or vertical).  A :class:`SinoProblem` describes what
+must be placed in the panel — the net segments crossing the region, which of
+them are mutually sensitive and each segment's inductive coupling bound
+``Kth`` — and a :class:`SinoSolution` is a concrete track ordering, possibly
+with shields inserted between nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.noise.keff import (
+    DEFAULT_KEFF_MODEL,
+    KeffModel,
+    PanelOccupant,
+    capacitive_violations,
+    panel_couplings,
+)
+from repro.sino.evaluator import PanelEvaluator
+
+#: Layout entry marking a shield track.
+SHIELD = None
+
+
+def _normalise_sensitivity(
+    segments: Sequence[int],
+    sensitivity: Mapping[int, Set[int]],
+) -> Dict[int, FrozenSet[int]]:
+    """Restrict the sensitivity map to the panel's segments and make it symmetric.
+
+    The paper's definition of sensitivity (aggressor / victim) is directional,
+    but both SINO constraints (adjacency, coupling) only care about pairs that
+    interact at all, so the solvers work on the symmetric closure.
+    """
+    present = set(segments)
+    symmetric: Dict[int, Set[int]] = {segment: set() for segment in segments}
+    for segment in segments:
+        for other in sensitivity.get(segment, set()):
+            if other in present and other != segment:
+                symmetric[segment].add(other)
+                symmetric[other].add(segment)
+    return {segment: frozenset(others) for segment, others in symmetric.items()}
+
+
+@dataclass(frozen=True)
+class SinoProblem:
+    """One region-direction SINO instance.
+
+    Attributes
+    ----------
+    segments:
+        Identifiers of the net segments that must be placed (one track each).
+    sensitivity:
+        Mapping from a segment id to the ids it is sensitive to.  It is
+        symmetrised and restricted to ``segments`` at construction.
+    kth:
+        Per-segment inductive coupling bound ``Kth``.  Segments missing from
+        the mapping get ``default_kth``.
+    default_kth:
+        Bound applied to segments without an explicit entry.
+    capacity:
+        Number of tracks physically available in the region (0 = unlimited).
+        Exceeding it is allowed — it shows up as overflow / area expansion —
+        but solvers prefer solutions that fit.
+    keff_model:
+        Keff model used to evaluate couplings.
+    """
+
+    segments: Tuple[int, ...]
+    sensitivity: Mapping[int, FrozenSet[int]]
+    kth: Mapping[int, float]
+    default_kth: float = 1.0
+    capacity: int = 0
+    keff_model: KeffModel = DEFAULT_KEFF_MODEL
+
+    def __post_init__(self) -> None:
+        if len(set(self.segments)) != len(self.segments):
+            raise ValueError("segment ids must be unique within a panel")
+        if self.default_kth <= 0.0:
+            raise ValueError(f"default_kth must be positive, got {self.default_kth}")
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity}")
+
+    @classmethod
+    def build(
+        cls,
+        segments: Sequence[int],
+        sensitivity: Mapping[int, Set[int]],
+        kth: Optional[Mapping[int, float]] = None,
+        default_kth: float = 1.0,
+        capacity: int = 0,
+        keff_model: KeffModel = DEFAULT_KEFF_MODEL,
+    ) -> "SinoProblem":
+        """Normalising constructor (symmetrises sensitivity, copies mappings)."""
+        segments = tuple(segments)
+        normalised = _normalise_sensitivity(segments, sensitivity)
+        bounds = dict(kth or {})
+        for segment in segments:
+            bounds.setdefault(segment, default_kth)
+        return cls(
+            segments=segments,
+            sensitivity=normalised,
+            kth=bounds,
+            default_kth=default_kth,
+            capacity=capacity,
+            keff_model=keff_model,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        """Number of net segments to place."""
+        return len(self.segments)
+
+    def bound_of(self, segment: int) -> float:
+        """Kth bound of a segment."""
+        return float(self.kth.get(segment, self.default_kth))
+
+    def aggressors_of(self, segment: int) -> FrozenSet[int]:
+        """Segments the given segment is sensitive to (within this panel)."""
+        return self.sensitivity.get(segment, frozenset())
+
+    def sensitivity_degree(self, segment: int) -> int:
+        """Number of other panel segments a segment is sensitive to."""
+        return len(self.aggressors_of(segment))
+
+    def sensitivity_rate_of(self, segment: int) -> float:
+        """Fraction of the *other* panel segments a segment is sensitive to."""
+        if self.num_segments <= 1:
+            return 0.0
+        return self.sensitivity_degree(segment) / (self.num_segments - 1)
+
+    def evaluator(self) -> PanelEvaluator:
+        """A cached fast layout evaluator for this problem.
+
+        The evaluator precomputes the sensitivity matrix once; repeated layout
+        evaluations during solving then reduce to array arithmetic.  The cache
+        lives on the (frozen) problem instance itself.
+        """
+        cached = getattr(self, "_evaluator_cache", None)
+        if cached is None:
+            pairs = [
+                (segment, other)
+                for segment, others in self.sensitivity.items()
+                for other in others
+                if segment < other
+            ]
+            bounds = {segment: self.bound_of(segment) for segment in self.segments}
+            cached = PanelEvaluator(self.segments, pairs, self.keff_model, bounds)
+            object.__setattr__(self, "_evaluator_cache", cached)
+        return cached
+
+    def with_bounds(self, new_bounds: Mapping[int, float]) -> "SinoProblem":
+        """Copy of the problem with some Kth bounds replaced.
+
+        Used by Phase III when it tightens or relaxes individual segments.
+        """
+        merged = dict(self.kth)
+        for segment, bound in new_bounds.items():
+            if bound <= 0.0:
+                raise ValueError(f"Kth bound for segment {segment} must be positive, got {bound}")
+            merged[segment] = bound
+        return SinoProblem(
+            segments=self.segments,
+            sensitivity=self.sensitivity,
+            kth=merged,
+            default_kth=self.default_kth,
+            capacity=self.capacity,
+            keff_model=self.keff_model,
+        )
+
+
+@dataclass
+class SinoSolution:
+    """A concrete track assignment for a :class:`SinoProblem`.
+
+    Attributes
+    ----------
+    problem:
+        The instance this solution answers.
+    layout:
+        Track contents in physical order; each entry is a segment id or
+        ``None`` for a shield.
+    """
+
+    problem: SinoProblem
+    layout: List[Optional[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        placed = [entry for entry in self.layout if entry is not SHIELD]
+        if sorted(placed) != sorted(self.problem.segments):
+            raise ValueError(
+                "layout must contain every problem segment exactly once "
+                f"(expected {sorted(self.problem.segments)}, got {sorted(placed)})"
+            )
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def num_tracks(self) -> int:
+        """Total tracks used (segments + shields)."""
+        return len(self.layout)
+
+    @property
+    def num_shields(self) -> int:
+        """Number of shield tracks in the layout."""
+        return sum(1 for entry in self.layout if entry is SHIELD)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of net segments in the layout."""
+        return len(self.layout) - self.num_shields
+
+    @property
+    def overflow(self) -> int:
+        """Tracks used beyond the region capacity (0 when capacity is unlimited)."""
+        if self.problem.capacity <= 0:
+            return 0
+        return max(0, self.num_tracks - self.problem.capacity)
+
+    def occupants(self) -> List[PanelOccupant]:
+        """The layout as :class:`PanelOccupant` records (for the Keff model)."""
+        return [
+            PanelOccupant(track=index, net_id=entry)
+            for index, entry in enumerate(self.layout)
+        ]
+
+    def position_of(self, segment: int) -> int:
+        """Track index of a segment (raises ValueError if absent)."""
+        return self.layout.index(segment)
+
+    # -- electrical evaluation ----------------------------------------------------
+
+    def couplings(self) -> Dict[int, float]:
+        """Total Keff coupling ``K_i`` of every segment under this layout."""
+        return self.problem.evaluator().couplings(self.layout)
+
+    def coupling_of(self, segment: int) -> float:
+        """Total Keff coupling of one segment."""
+        return self.couplings().get(segment, 0.0)
+
+    def capacitive_violation_pairs(self) -> List[Tuple[int, int]]:
+        """Adjacent sensitive pairs (must be empty in a valid SINO solution)."""
+        sensitivity = {
+            segment: set(self.problem.aggressors_of(segment))
+            for segment in self.problem.segments
+        }
+        return capacitive_violations(self.occupants(), sensitivity)
+
+    def inductive_violations(self) -> Dict[int, float]:
+        """Segments whose coupling exceeds their bound, mapped to the excess."""
+        violations: Dict[int, float] = {}
+        for segment, coupling in self.couplings().items():
+            bound = self.problem.bound_of(segment)
+            if coupling > bound + 1e-12:
+                violations[segment] = coupling - bound
+        return violations
+
+    def slack_of(self, segment: int) -> float:
+        """``Kth - K_i``: positive when the segment has inductive headroom."""
+        return self.problem.bound_of(segment) - self.coupling_of(segment)
+
+    def is_valid(self) -> bool:
+        """True when both SINO constraints hold."""
+        return not self.capacitive_violation_pairs() and not self.inductive_violations()
+
+    # -- editing helpers ----------------------------------------------------------
+
+    def copy(self) -> "SinoSolution":
+        """Deep-enough copy (layout list is copied, problem is shared)."""
+        return SinoSolution(problem=self.problem, layout=list(self.layout))
+
+    def compact(self) -> "SinoSolution":
+        """Drop every shield whose removal does not worsen the solution.
+
+        A shield is redundant when removing it neither increases the total
+        inductive excess (``K_i`` beyond ``Kth_i``) nor creates a new adjacent
+        sensitive pair.  Edge shields and doubled-up shields usually qualify,
+        but not always: an edge shield grants its neighbour the
+        adjacent-shield reduction of the Keff model, so each removal is
+        verified rather than assumed.
+        """
+        evaluator = self.problem.evaluator()
+        layout = list(self.layout)
+        excess = evaluator.total_excess(layout)
+        capacitive = len(SinoSolution(problem=self.problem, layout=layout).capacitive_violation_pairs())
+        index = len(layout) - 1
+        while index >= 0:
+            if layout[index] is SHIELD:
+                candidate = layout[:index] + layout[index + 1:]
+                candidate_excess = evaluator.total_excess(candidate)
+                candidate_capacitive = len(
+                    SinoSolution(problem=self.problem, layout=candidate).capacitive_violation_pairs()
+                )
+                if candidate_excess <= excess + 1e-12 and candidate_capacitive <= capacitive:
+                    layout = candidate
+                    excess = candidate_excess
+                    capacitive = candidate_capacitive
+            index -= 1
+        return SinoSolution(problem=self.problem, layout=layout)
+
+    def __repr__(self) -> str:
+        rendered = ",".join("S" if entry is SHIELD else str(entry) for entry in self.layout)
+        return f"SinoSolution([{rendered}], shields={self.num_shields})"

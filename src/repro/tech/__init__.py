@@ -1,0 +1,33 @@
+"""Technology parameters and interconnect parasitic extraction.
+
+This sub-package provides the physical substrate used throughout the
+reproduction of Ma & He, DAC 2002:
+
+* :mod:`repro.tech.itrs` — the ITRS 0.10 um technology node parameters the
+  paper evaluates at (Vdd = 1.05 V, 3 GHz clock), plus a few neighbouring
+  nodes for sensitivity studies.
+* :mod:`repro.tech.parasitics` — closed-form per-unit-length resistance,
+  ground/coupling capacitance, and self/mutual inductance extraction from
+  wire geometry.
+* :mod:`repro.tech.driver` — uniform driver / receiver models assumed by the
+  paper ("all global interconnects have the same driver resistance and
+  loading capacitance").
+"""
+
+from repro.tech.itrs import Technology, ITRS_100NM, ITRS_130NM, ITRS_70NM, get_technology
+from repro.tech.parasitics import WireGeometry, WireParasitics, extract_parasitics
+from repro.tech.driver import DriverModel, ReceiverModel, UniformInterfaceModel
+
+__all__ = [
+    "Technology",
+    "ITRS_100NM",
+    "ITRS_130NM",
+    "ITRS_70NM",
+    "get_technology",
+    "WireGeometry",
+    "WireParasitics",
+    "extract_parasitics",
+    "DriverModel",
+    "ReceiverModel",
+    "UniformInterfaceModel",
+]

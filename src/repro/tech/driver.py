@@ -1,0 +1,89 @@
+"""Uniform driver and receiver models for global interconnects.
+
+The paper assumes "all global interconnects have the same driver resistance
+and loading capacitance" and notes that the LSK lookup table must be
+re-computed for different driver/receiver combinations.  This module captures
+that assumption explicitly so the table builder and the circuit simulator can
+be parameterised by a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.itrs import Technology
+
+
+@dataclass(frozen=True)
+class DriverModel:
+    """Linearised driver: a ramp voltage source behind an output resistance.
+
+    Attributes
+    ----------
+    resistance:
+        Output (on) resistance in ohms.
+    rise_time:
+        10–90 % rise time of the driven edge, in seconds.
+    vdd:
+        Swing of the driven edge in volts.
+    """
+
+    resistance: float
+    rise_time: float
+    vdd: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError(f"driver resistance must be positive, got {self.resistance}")
+        if self.rise_time <= 0.0:
+            raise ValueError(f"driver rise time must be positive, got {self.rise_time}")
+        if self.vdd <= 0.0:
+            raise ValueError(f"driver vdd must be positive, got {self.vdd}")
+
+
+@dataclass(frozen=True)
+class ReceiverModel:
+    """Receiver modelled as a lumped load capacitance (farads)."""
+
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ValueError(f"receiver capacitance must be positive, got {self.capacitance}")
+
+
+@dataclass(frozen=True)
+class UniformInterfaceModel:
+    """The driver/receiver pair shared by every global net.
+
+    The LSK table lookup is only valid for one such pair; constructing a new
+    :class:`UniformInterfaceModel` (e.g. with a stronger driver) requires the
+    table to be rebuilt, mirroring the caveat in Section 2.2 of the paper.
+    """
+
+    driver: DriverModel
+    receiver: ReceiverModel
+
+    @classmethod
+    def from_technology(cls, tech: Technology) -> "UniformInterfaceModel":
+        """Build the default interface model of a technology node."""
+        driver = DriverModel(
+            resistance=tech.driver_resistance,
+            rise_time=tech.rise_time,
+            vdd=tech.vdd,
+        )
+        receiver = ReceiverModel(capacitance=tech.load_capacitance)
+        return cls(driver=driver, receiver=receiver)
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of the driver/receiver combination.
+
+        Used by :mod:`repro.noise.table_builder` to decide whether a cached
+        LSK table can be reused.
+        """
+        return (
+            round(self.driver.resistance, 9),
+            round(self.driver.rise_time, 15),
+            round(self.driver.vdd, 9),
+            round(self.receiver.capacitance, 18),
+        )

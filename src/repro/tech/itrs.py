@@ -1,0 +1,187 @@
+"""ITRS technology node descriptions.
+
+The paper evaluates at the ITRS 0.10 um technology node (reference [9] of the
+paper, the 1999 International Technology Roadmap for Semiconductors): supply
+voltage Vdd = 1.05 V and a 3 GHz clock.  The crosstalk bound used in the
+experiments is 0.15 V, i.e. roughly 15 % of Vdd.
+
+The values collected here are the small set of node-level quantities the rest
+of the library needs: supply voltage, clock frequency, global-wire geometry
+(width / spacing / thickness / inter-layer dielectric height), metal
+resistivity, dielectric constant, and the uniform driver / receiver values
+assumed for global interconnects.  They are representative published roadmap
+values for each node; the reproduction only depends on them being physically
+sensible and self-consistent, not on matching the authors' exact extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+# Physical constants (SI units).
+VACUUM_PERMITTIVITY = 8.854e-12  # F/m
+VACUUM_PERMEABILITY = 4.0e-7 * 3.141592653589793  # H/m
+COPPER_RESISTIVITY = 1.72e-8  # ohm*m (bulk copper at room temperature)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A technology node as seen by the global router and the noise models.
+
+    All geometric quantities are in metres, electrical quantities in SI units.
+    The defaults of the factory constants below correspond to global-layer
+    (top metal) wires, which is what over-the-cell global routing uses.
+
+    Attributes
+    ----------
+    name:
+        Human readable node name, e.g. ``"itrs-0.10um"``.
+    feature_size:
+        Nominal drawn feature size in metres.
+    vdd:
+        Supply voltage in volts.
+    clock_ghz:
+        Target clock frequency in GHz (the paper uses 3 GHz).
+    wire_width / wire_spacing / wire_thickness:
+        Global wire cross-section geometry.
+    dielectric_height:
+        Distance from the wire bottom to the ground plane underneath.
+    dielectric_constant:
+        Relative permittivity of the inter-layer dielectric.
+    resistivity:
+        Metal resistivity (ohm*m).
+    driver_resistance:
+        Uniform driver output resistance (ohms) for global nets.
+    load_capacitance:
+        Uniform receiver load capacitance (farads) for global nets.
+    track_pitch:
+        Centre-to-centre distance between adjacent routing tracks
+        (``wire_width + wire_spacing``); exposed separately because the area
+        model widens regions by whole track pitches.
+    """
+
+    name: str
+    feature_size: float
+    vdd: float
+    clock_ghz: float
+    wire_width: float
+    wire_spacing: float
+    wire_thickness: float
+    dielectric_height: float
+    dielectric_constant: float
+    resistivity: float = COPPER_RESISTIVITY
+    driver_resistance: float = 30.0
+    load_capacitance: float = 50e-15
+    track_pitch: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "track_pitch", self.wire_width + self.wire_spacing)
+
+    @property
+    def clock_period(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / (self.clock_ghz * 1e9)
+
+    @property
+    def rise_time(self) -> float:
+        """Signal rise time in seconds.
+
+        Global signal rise time is commonly taken as ~10 % of the clock
+        period; the LSK table is characterised with this edge rate.
+        """
+        return 0.1 * self.clock_period
+
+    @property
+    def crosstalk_noise_floor(self) -> float:
+        """Lowest noise voltage tabulated in the LSK table (paper: 0.10 V)."""
+        return round(0.10 / 1.05 * self.vdd, 6)
+
+    @property
+    def crosstalk_noise_ceiling(self) -> float:
+        """Highest noise voltage tabulated in the LSK table (paper: 0.20 V)."""
+        return round(0.20 / 1.05 * self.vdd, 6)
+
+    def default_crosstalk_bound(self) -> float:
+        """The per-sink crosstalk bound used in the paper's experiments.
+
+        The paper sets it to 0.15 V, "around 15% of the supply voltage".
+        """
+        return round(0.15 / 1.05 * self.vdd, 6)
+
+    def scaled(self, **changes: object) -> "Technology":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: The node the paper evaluates at (ITRS 1999 roadmap, 0.10 um generation).
+ITRS_100NM = Technology(
+    name="itrs-0.10um",
+    feature_size=0.10e-6,
+    vdd=1.05,
+    clock_ghz=3.0,
+    wire_width=0.5e-6,
+    wire_spacing=0.5e-6,
+    wire_thickness=1.0e-6,
+    dielectric_height=0.8e-6,
+    dielectric_constant=2.8,
+)
+
+#: The preceding node, useful for the "different fabrication technologies"
+#: observation in Section 2.2 of the paper.
+ITRS_130NM = Technology(
+    name="itrs-0.13um",
+    feature_size=0.13e-6,
+    vdd=1.2,
+    clock_ghz=1.7,
+    wire_width=0.6e-6,
+    wire_spacing=0.6e-6,
+    wire_thickness=1.2e-6,
+    dielectric_height=0.9e-6,
+    dielectric_constant=3.2,
+)
+
+#: A more aggressive node used only in sensitivity studies.
+ITRS_70NM = Technology(
+    name="itrs-0.07um",
+    feature_size=0.07e-6,
+    vdd=0.9,
+    clock_ghz=5.0,
+    wire_width=0.35e-6,
+    wire_spacing=0.35e-6,
+    wire_thickness=0.8e-6,
+    dielectric_height=0.7e-6,
+    dielectric_constant=2.4,
+)
+
+_NODES = {tech.name: tech for tech in (ITRS_100NM, ITRS_130NM, ITRS_70NM)}
+_ALIASES = {
+    "0.10um": ITRS_100NM.name,
+    "100nm": ITRS_100NM.name,
+    "0.13um": ITRS_130NM.name,
+    "130nm": ITRS_130NM.name,
+    "0.07um": ITRS_70NM.name,
+    "70nm": ITRS_70NM.name,
+}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a technology node by name or alias.
+
+    Parameters
+    ----------
+    name:
+        Either the full node name (``"itrs-0.10um"``) or a short alias such as
+        ``"100nm"`` or ``"0.10um"``.
+
+    Raises
+    ------
+    KeyError
+        If the name is not a known node.
+    """
+    key = name.strip().lower()
+    if key in _NODES:
+        return _NODES[key]
+    if key in _ALIASES:
+        return _NODES[_ALIASES[key]]
+    known = sorted(set(_NODES) | set(_ALIASES))
+    raise KeyError(f"unknown technology {name!r}; known nodes/aliases: {known}")

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.ibm import generate_circuit
+from repro.gsino.config import GsinoConfig
+from repro.sino.panel import SinoProblem
+from repro.tech.driver import UniformInterfaceModel
+from repro.tech.itrs import ITRS_100NM
+
+
+@pytest.fixture(scope="session")
+def interface_model():
+    """The default uniform driver/receiver pair of the 0.10 um node."""
+    return UniformInterfaceModel.from_technology(ITRS_100NM)
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """A small synthetic ibm01 instance shared by integration tests."""
+    return generate_circuit("ibm01", sensitivity_rate=0.3, scale=0.015, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_circuit_config(small_circuit):
+    """Flow configuration matched to the small circuit's scale."""
+    return GsinoConfig(length_scale=1.0 / (0.015 ** 0.5))
+
+
+def make_random_sino_problem(
+    num_segments: int,
+    sensitivity_rate: float,
+    kth: float,
+    seed: int = 0,
+) -> SinoProblem:
+    """Helper used by several SINO tests to build random instances."""
+    rng = np.random.default_rng(seed)
+    segments = list(range(num_segments))
+    sensitivity = {segment: set() for segment in segments}
+    for i in segments:
+        for j in segments:
+            if j > i and rng.random() < sensitivity_rate:
+                sensitivity[i].add(j)
+                sensitivity[j].add(i)
+    return SinoProblem.build(segments, sensitivity, default_kth=kth)
+
+
+@pytest.fixture
+def random_sino_problem():
+    """Factory fixture for random SINO problems."""
+    return make_random_sino_problem

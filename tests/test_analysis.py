@@ -1,0 +1,119 @@
+"""Tests for the reporting helpers and the table-reproduction drivers."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    render_all_tables,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_circuit_comparison,
+    run_table_suite,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.analysis.report import format_percentage, format_table, render_comparison
+from repro.gsino.config import GsinoConfig
+
+
+class TestReportFormatting:
+    def test_format_percentage(self):
+        assert format_percentage(0.146) == "14.60%"
+        assert format_percentage(0.3, decimals=0) == "30%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert all(len(line) >= len("long-name") for line in lines[1:])
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_render_comparison_ends_with_newline(self):
+        assert render_comparison("t", ["a"], [[1]]).endswith("\n")
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.circuits == ("ibm01", "ibm02", "ibm03", "ibm04", "ibm05", "ibm06")
+        assert config.sensitivity_rates == (0.3, 0.5)
+
+    def test_flow_config_scales_lengths(self):
+        config = ExperimentConfig(scale=0.04)
+        assert config.flow_config().length_scale == pytest.approx(1.0 / 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(circuits=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(sensitivity_rates=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0.0)
+
+
+class TestTableDrivers:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        config = ExperimentConfig(
+            circuits=("ibm01",),
+            sensitivity_rates=(0.3, 0.5),
+            scale=0.015,
+            seed=11,
+        )
+        return run_table_suite(config)
+
+    def test_suite_covers_every_circuit_and_rate(self, comparisons):
+        assert len(comparisons) == 2
+        assert {c.sensitivity_rate for c in comparisons} == {0.3, 0.5}
+
+    def test_table1_structure_and_trend(self, comparisons):
+        rows = table1_rows(comparisons)
+        assert len(rows) == 1
+        assert len(rows[0]) == 3  # circuit + two rates
+        # Violations grow with the sensitivity rate (paper's headline trend).
+        low = comparisons[0] if comparisons[0].sensitivity_rate == 0.3 else comparisons[1]
+        high = comparisons[1] if comparisons[1].sensitivity_rate == 0.5 else comparisons[0]
+        assert (
+            high.id_no.metrics.crosstalk.num_violations
+            >= low.id_no.metrics.crosstalk.num_violations
+        )
+
+    def test_table2_structure(self, comparisons):
+        rows = table2_rows(comparisons)
+        assert len(rows) == 2
+        assert all(len(row) == 4 for row in rows)
+
+    def test_table3_structure_and_ordering(self, comparisons):
+        rows = table3_rows(comparisons)
+        assert len(rows) == 2
+        for comparison in comparisons:
+            assert comparison.isino.metrics.area.area >= comparison.id_no.metrics.area.area - 1e-6
+            assert comparison.gsino.metrics.area.area <= comparison.isino.metrics.area.area + 1e-6
+
+    def test_gsino_eliminates_violations_in_suite(self, comparisons):
+        for comparison in comparisons:
+            assert comparison.gsino.metrics.crosstalk.num_violations == 0
+
+    def test_rendered_tables_mention_circuits(self, comparisons):
+        text = render_all_tables(comparisons)
+        assert "Table 1" in text and "Table 2" in text and "Table 3" in text
+        assert "ibm01" in text
+        assert render_table1(comparisons).count("\n") >= 3
+        assert render_table2(comparisons)
+        assert render_table3(comparisons)
+
+    def test_run_circuit_comparison_single(self):
+        config = ExperimentConfig(circuits=("ibm01",), sensitivity_rates=(0.3,), scale=0.01, seed=2)
+        comparison = run_circuit_comparison("ibm01", 0.3, config)
+        assert set(comparison.flows) == {"id_no", "isino", "gsino"}
+        assert comparison.circuit.netlist.num_nets > 0

@@ -1,0 +1,157 @@
+"""Tests for the synthetic benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ibm import GeneratedCircuit, generate_circuit
+from repro.bench.placement import (
+    DEFAULT_PIN_DISTRIBUTION,
+    PlacementConfig,
+    average_hpwl,
+    generate_nets,
+)
+from repro.bench.profiles import IBM_PROFILES, CircuitProfile, get_profile, list_profiles
+
+
+class TestProfiles:
+    def test_all_six_circuits_present(self):
+        assert list_profiles() == ["ibm01", "ibm02", "ibm03", "ibm04", "ibm05", "ibm06"]
+
+    def test_published_statistics(self):
+        ibm01 = get_profile("ibm01")
+        assert ibm01.num_nets == 13062
+        assert ibm01.chip_width == pytest.approx(1533.0)
+        assert ibm01.chip_height == pytest.approx(1824.0)
+        assert ibm01.average_net_length == pytest.approx(639.0)
+
+    def test_net_counts_match_table1_percentages(self):
+        # Table 1: ibm01 reports 1907 violations at 14.60 %.
+        assert get_profile("ibm01").num_nets == pytest.approx(1907 / 0.146, rel=0.01)
+        # ibm05: 7135 violations at 24.07 %.
+        assert get_profile("ibm05").num_nets == pytest.approx(7135 / 0.2407, rel=0.01)
+
+    def test_lookup_is_case_insensitive_and_validates(self):
+        assert get_profile("IBM03").name == "ibm03"
+        with pytest.raises(KeyError):
+            get_profile("ibm99")
+
+    def test_scaling_preserves_density(self):
+        profile = get_profile("ibm02")
+        scaled = profile.scaled(0.25)
+        assert scaled.num_nets == pytest.approx(profile.num_nets * 0.25, rel=0.01)
+        assert scaled.chip_width == pytest.approx(profile.chip_width * 0.5, rel=0.01)
+        # Nets per region stays roughly constant.
+        full_density = profile.num_nets / (profile.grid_cols * profile.grid_rows)
+        scaled_density = scaled.num_nets / (scaled.grid_cols * scaled.grid_rows)
+        assert scaled_density == pytest.approx(full_density, rel=0.2)
+
+    def test_scale_one_returns_same_profile(self):
+        profile = get_profile("ibm04")
+        assert profile.scaled(1.0) is profile
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            get_profile("ibm01").scaled(0.0)
+        with pytest.raises(ValueError):
+            get_profile("ibm01").scaled(1.5)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CircuitProfile("bad", 0, 100.0, 100.0, 50.0)
+        with pytest.raises(ValueError):
+            CircuitProfile("bad", 10, -1.0, 100.0, 50.0)
+        with pytest.raises(ValueError):
+            CircuitProfile("bad", 10, 100.0, 100.0, 50.0, grid_cols=1)
+
+
+class TestPlacement:
+    def test_pin_distribution_sums_to_one(self):
+        assert sum(p for _, p in DEFAULT_PIN_DISTRIBUTION) == pytest.approx(1.0)
+
+    def test_generated_nets_match_profile_count(self):
+        profile = get_profile("ibm01").scaled(0.02)
+        nets = generate_nets(profile, np.random.default_rng(0))
+        assert len(nets) == profile.num_nets
+        assert all(net.num_pins >= 2 for net in nets)
+
+    def test_pins_stay_on_chip(self):
+        profile = get_profile("ibm05").scaled(0.02)
+        nets = generate_nets(profile, np.random.default_rng(1))
+        for net in nets:
+            for pin in net.pins:
+                assert 0.0 <= pin.x <= profile.chip_width + 1e-6
+                assert 0.0 <= pin.y <= profile.chip_height + 1e-6
+
+    def test_average_hpwl_close_to_target(self):
+        profile = get_profile("ibm01").scaled(0.1)
+        nets = generate_nets(profile, np.random.default_rng(2))
+        target = profile.average_net_length / PlacementConfig().hpwl_to_route_ratio
+        assert average_hpwl(nets) == pytest.approx(target, rel=0.15)
+
+    def test_average_hpwl_empty(self):
+        assert average_hpwl([]) == 0.0
+
+    def test_placement_config_validation(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(pin_distribution=((2, 0.5), (3, 0.4)))
+        with pytest.raises(ValueError):
+            PlacementConfig(pin_distribution=((1, 1.0),))
+        with pytest.raises(ValueError):
+            PlacementConfig(hpwl_to_route_ratio=0.0)
+        with pytest.raises(ValueError):
+            PlacementConfig(minimum_span=0.0)
+
+    def test_determinism_per_seed(self):
+        profile = get_profile("ibm01").scaled(0.02)
+        first = generate_nets(profile, np.random.default_rng(7))
+        second = generate_nets(profile, np.random.default_rng(7))
+        assert all(a.pins == b.pins for a, b in zip(first, second))
+
+
+class TestGenerateCircuit:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return generate_circuit("ibm01", sensitivity_rate=0.3, scale=0.02, seed=5)
+
+    def test_instance_structure(self, circuit):
+        assert isinstance(circuit, GeneratedCircuit)
+        assert circuit.netlist.num_nets == circuit.profile.num_nets
+        assert circuit.grid.num_cols == circuit.profile.grid_cols
+        assert "ibm01" in circuit.name
+
+    def test_sensitivity_rate_is_nominal(self, circuit):
+        assert circuit.netlist.sensitivity_rate(0) == pytest.approx(0.3)
+
+    def test_capacities_are_positive(self, circuit):
+        assert circuit.grid.horizontal_capacity >= 4
+        assert circuit.grid.vertical_capacity >= 4
+
+    def test_determinism(self):
+        first = generate_circuit("ibm02", sensitivity_rate=0.5, scale=0.01, seed=9)
+        second = generate_circuit("ibm02", sensitivity_rate=0.5, scale=0.01, seed=9)
+        assert first.grid.horizontal_capacity == second.grid.horizontal_capacity
+        assert first.netlist.net(0).pins == second.netlist.net(0).pins
+
+    def test_different_seeds_differ(self):
+        first = generate_circuit("ibm02", sensitivity_rate=0.5, scale=0.01, seed=1)
+        second = generate_circuit("ibm02", sensitivity_rate=0.5, scale=0.01, seed=2)
+        assert first.netlist.net(0).pins != second.netlist.net(0).pins
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_circuit("ibm01", sensitivity_rate=1.5, scale=0.01)
+        with pytest.raises(ValueError):
+            generate_circuit("ibm01", sensitivity_rate=0.3, scale=0.01, capacity_headroom=0.0)
+        with pytest.raises(KeyError):
+            generate_circuit("ibm42", sensitivity_rate=0.3, scale=0.01)
+
+    def test_explicit_profile_override(self):
+        profile = CircuitProfile("custom", 50, 400.0, 400.0, 120.0, grid_cols=4, grid_rows=4)
+        circuit = generate_circuit("ignored", profile=profile, sensitivity_rate=0.3, seed=3)
+        assert circuit.profile.name == "custom"
+        assert circuit.netlist.num_nets == 50
+
+    def test_higher_headroom_gives_more_capacity(self):
+        tight = generate_circuit("ibm01", scale=0.02, seed=5, capacity_headroom=0.8)
+        loose = generate_circuit("ibm01", scale=0.02, seed=5, capacity_headroom=1.6)
+        assert loose.grid.horizontal_capacity > tight.grid.horizontal_capacity

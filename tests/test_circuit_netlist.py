@@ -1,0 +1,146 @@
+"""Tests for circuit elements, waveforms and the netlist container."""
+
+import pytest
+
+from repro.circuit.elements import (
+    Capacitor,
+    GROUND,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+    element_nodes,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import PiecewiseLinear, constant, falling_ramp, ramp, step
+
+
+class TestWaveforms:
+    def test_constant(self):
+        waveform = constant(1.5)
+        assert waveform.value_at(0.0) == pytest.approx(1.5)
+        assert waveform.value_at(1e9) == pytest.approx(1.5)
+
+    def test_ramp_values(self):
+        waveform = ramp(1.0, rise_time=1e-9)
+        assert waveform.value_at(0.0) == pytest.approx(0.0)
+        assert waveform.value_at(0.5e-9) == pytest.approx(0.5)
+        assert waveform.value_at(1e-9) == pytest.approx(1.0)
+        assert waveform.value_at(5e-9) == pytest.approx(1.0)
+        assert waveform.final_value == pytest.approx(1.0)
+
+    def test_ramp_with_start_offset(self):
+        waveform = ramp(2.0, rise_time=2e-9, start=1e-9)
+        assert waveform.value_at(0.5e-9) == pytest.approx(0.0)
+        assert waveform.value_at(2e-9) == pytest.approx(1.0)
+
+    def test_falling_ramp(self):
+        waveform = falling_ramp(1.0, fall_time=1e-9)
+        assert waveform.value_at(0.0) == pytest.approx(1.0)
+        assert waveform.value_at(1e-9) == pytest.approx(0.0)
+
+    def test_step_is_sharp(self):
+        waveform = step(1.0, at=1e-9)
+        assert waveform.value_at(0.999e-9) == pytest.approx(0.0)
+        assert waveform.value_at(1.1e-9) == pytest.approx(1.0)
+
+    def test_max_abs_value(self):
+        waveform = PiecewiseLinear.from_pairs([(0.0, 0.0), (1.0, -2.0), (2.0, 1.0)])
+        assert waveform.max_abs_value == pytest.approx(2.0)
+
+    def test_rejects_non_monotone_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.from_pairs([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(points=())
+
+    def test_rejects_bad_ramp_times(self):
+        with pytest.raises(ValueError):
+            ramp(1.0, rise_time=0.0)
+        with pytest.raises(ValueError):
+            falling_ramp(1.0, fall_time=-1.0)
+
+
+class TestElements:
+    def test_resistor_validation(self):
+        with pytest.raises(ValueError):
+            Resistor(name="r", node_pos="a", node_neg="a", resistance=10.0)
+        with pytest.raises(ValueError):
+            Resistor(name="r", node_pos="a", node_neg="b", resistance=0.0)
+
+    def test_capacitor_and_inductor_validation(self):
+        with pytest.raises(ValueError):
+            Capacitor(name="c", node_pos="a", node_neg="b", capacitance=-1e-15)
+        with pytest.raises(ValueError):
+            Inductor(name="l", node_pos="a", node_neg="b", inductance=0.0)
+
+    def test_mutual_validation(self):
+        with pytest.raises(ValueError):
+            MutualInductance(name="k", inductor_a="l1", inductor_b="l1", mutual=1e-9)
+        with pytest.raises(ValueError):
+            MutualInductance(name="k", inductor_a="l1", inductor_b="l2", mutual=-1e-9)
+
+    def test_source_voltage_at(self):
+        source = VoltageSource(name="v", node_pos="a", node_neg=GROUND, waveform=ramp(1.0, 1e-9))
+        assert source.voltage_at(0.5e-9) == pytest.approx(0.5)
+
+    def test_element_nodes(self):
+        resistor = Resistor(name="r", node_pos="a", node_neg="b", resistance=1.0)
+        assert element_nodes(resistor) == ("a", "b")
+        mutual = MutualInductance(name="k", inductor_a="l1", inductor_b="l2", mutual=0.0)
+        assert element_nodes(mutual) == ()
+
+
+class TestCircuit:
+    def test_incremental_construction(self):
+        circuit = Circuit("rc")
+        circuit.add_voltage_source("vin", "in", GROUND, dc_value=1.0)
+        circuit.add_resistor("r1", "in", "out", 100.0)
+        circuit.add_capacitor("c1", "out", GROUND, 1e-12)
+        assert circuit.element_count() == 3
+        assert set(circuit.non_ground_nodes) == {"in", "out"}
+        circuit.validate()
+
+    def test_duplicate_element_names_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            circuit.add_resistor("r1", "b", GROUND, 2.0)
+
+    def test_validate_requires_elements_and_ground(self):
+        empty = Circuit()
+        with pytest.raises(ValueError):
+            empty.validate()
+        floating = Circuit()
+        floating.add_resistor("r1", "a", "b", 1.0)
+        with pytest.raises(ValueError):
+            floating.validate()
+
+    def test_validate_mutual_references(self):
+        circuit = Circuit()
+        circuit.add_inductor("l1", "a", GROUND, 1e-9)
+        circuit.add_mutual("k1", "l1", "l2", 0.5e-9)
+        with pytest.raises(ValueError):
+            circuit.validate()
+
+    def test_validate_mutual_physical_limit(self):
+        circuit = Circuit()
+        circuit.add_inductor("l1", "a", GROUND, 1e-9)
+        circuit.add_inductor("l2", "b", GROUND, 1e-9)
+        circuit.add_mutual("k1", "l1", "l2", 2e-9)
+        with pytest.raises(ValueError):
+            circuit.validate()
+
+    def test_inductor_by_name(self):
+        circuit = Circuit()
+        circuit.add_inductor("l1", "a", GROUND, 1e-9)
+        assert circuit.inductor_by_name("l1").inductance == pytest.approx(1e-9)
+        with pytest.raises(KeyError):
+            circuit.inductor_by_name("l9")
+
+    def test_repr_mentions_counts(self):
+        circuit = Circuit("x")
+        circuit.add_resistor("r1", "a", GROUND, 1.0)
+        assert "R=1" in repr(circuit)

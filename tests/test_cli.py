@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.noise.lsk import LskTable
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_tables_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.command == "tables"
+        assert args.scale == pytest.approx(0.03)
+        assert "ibm01" in args.circuits
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "--circuit", "ibm04", "--rate", "0.5", "--scale", "0.02"]
+        )
+        assert args.circuit == "ibm04"
+        assert args.rate == pytest.approx(0.5)
+
+    def test_characterize_arguments(self, tmp_path):
+        args = build_parser().parse_args(
+            ["characterize", "--samples", "16", "--output", str(tmp_path / "t.json")]
+        )
+        assert args.samples == 16
+
+
+class TestCommands:
+    def test_compare_command_runs(self, capsys):
+        exit_code = main(
+            ["compare", "--circuit", "ibm01", "--rate", "0.3", "--scale", "0.01", "--seed", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "gsino" in output
+        assert "violations=" in output
+
+    def test_tables_command_writes_output_file(self, tmp_path, capsys):
+        output = tmp_path / "tables.txt"
+        exit_code = main(
+            [
+                "tables",
+                "--circuits", "ibm01",
+                "--rates", "0.3",
+                "--scale", "0.01",
+                "--seed", "3",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        text = output.read_text()
+        assert "Table 1" in text and "Table 3" in text
+        assert "ibm01" in capsys.readouterr().out
+
+    def test_characterize_command_saves_table(self, tmp_path, capsys):
+        output = tmp_path / "table.json"
+        exit_code = main(
+            ["characterize", "--samples", "12", "--seed", "4", "--output", str(output)]
+        )
+        assert exit_code == 0
+        data = json.loads(output.read_text())
+        table = LskTable.from_dict(data)
+        assert table.num_entries == 100
+        assert "LSK budget" in capsys.readouterr().out

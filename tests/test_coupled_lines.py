@@ -1,0 +1,105 @@
+"""Tests for the coupled-line panel circuits (the SPICE substitute)."""
+
+import pytest
+
+from repro.circuit.coupled_lines import (
+    CoupledLineConfig,
+    WireRole,
+    build_panel_circuit,
+    roles_from_string,
+    simulate_panel_noise,
+)
+from repro.tech.itrs import ITRS_100NM
+
+
+@pytest.fixture(scope="module")
+def config(interface_model):
+    return CoupledLineConfig(
+        technology=ITRS_100NM,
+        interface=interface_model,
+        wire_length=1.5e-3,
+        segments_per_wire=3,
+    )
+
+
+class TestRoleParsing:
+    def test_roles_from_string(self):
+        roles = roles_from_string("AVSQ")
+        assert roles == (WireRole.AGGRESSOR, WireRole.VICTIM, WireRole.SHIELD, WireRole.QUIET)
+
+    def test_roles_from_string_lowercase_and_spaces(self):
+        assert roles_from_string(" avs ") == (WireRole.AGGRESSOR, WireRole.VICTIM, WireRole.SHIELD)
+
+    def test_roles_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            roles_from_string("AVX")
+
+    def test_is_signal(self):
+        assert WireRole.VICTIM.is_signal
+        assert WireRole.AGGRESSOR.is_signal
+        assert not WireRole.SHIELD.is_signal
+
+
+class TestPanelConstruction:
+    def test_panel_requires_victim(self, config):
+        with pytest.raises(ValueError):
+            build_panel_circuit(config, roles_from_string("AAQ"))
+
+    def test_panel_requires_tracks(self, config):
+        with pytest.raises(ValueError):
+            build_panel_circuit(config, ())
+
+    def test_panel_structure(self, config):
+        panel = build_panel_circuit(config, roles_from_string("AVS"))
+        assert len(panel.sink_nodes) == 3
+        assert len(panel.victim_sinks()) == 1
+        # Aggressor and victim have drivers + loads; shield has none.
+        assert any(name.startswith("vsrc") for name in (s.name for s in panel.circuit.sources))
+        panel.circuit.validate()
+
+    def test_config_validation(self, interface_model):
+        with pytest.raises(ValueError):
+            CoupledLineConfig(ITRS_100NM, interface_model, wire_length=0.0)
+        with pytest.raises(ValueError):
+            CoupledLineConfig(ITRS_100NM, interface_model, wire_length=1e-3, segments_per_wire=0)
+        with pytest.raises(ValueError):
+            CoupledLineConfig(ITRS_100NM, interface_model, wire_length=1e-3, shield_resistance=0.0)
+
+
+class TestPanelNoisePhysics:
+    """The qualitative behaviours the LSK characterisation relies on."""
+
+    def test_noise_is_positive_with_an_aggressor(self, config):
+        noise, _ = simulate_panel_noise(config, roles_from_string("AV"), num_steps=300)
+        assert noise > 0.01
+
+    def test_shield_between_reduces_noise(self, config):
+        unshielded, _ = simulate_panel_noise(config, roles_from_string("AVA"), num_steps=300)
+        shielded, _ = simulate_panel_noise(config, roles_from_string("ASVSA"), num_steps=300)
+        assert shielded < 0.6 * unshielded
+
+    def test_more_aggressors_more_noise(self, config):
+        one, _ = simulate_panel_noise(config, roles_from_string("AVQ"), num_steps=300)
+        two, _ = simulate_panel_noise(config, roles_from_string("AVA"), num_steps=300)
+        four, _ = simulate_panel_noise(config, roles_from_string("AAVAA"), num_steps=300)
+        assert one < two < four
+
+    def test_quiet_neighbour_less_noise_than_aggressor(self, config):
+        quiet, _ = simulate_panel_noise(config, roles_from_string("AVQ"), num_steps=300)
+        aggressive, _ = simulate_panel_noise(config, roles_from_string("AVA"), num_steps=300)
+        assert quiet < aggressive
+
+    def test_distance_reduces_noise(self, config):
+        near, _ = simulate_panel_noise(config, roles_from_string("AVQQ"), num_steps=300)
+        far, _ = simulate_panel_noise(config, roles_from_string("VQQA"), num_steps=300)
+        assert far < near
+
+    def test_noise_below_supply(self, config):
+        noise, _ = simulate_panel_noise(config, roles_from_string("AAVAA"), num_steps=300)
+        assert noise < config.interface.driver.vdd
+
+    def test_result_contains_victim_waveform(self, config):
+        _, result = simulate_panel_noise(config, roles_from_string("AV"), num_steps=200)
+        panel = build_panel_circuit(config, roles_from_string("AV"))
+        victim_sink = panel.victim_sinks()[0]
+        assert victim_sink in result.node_voltages

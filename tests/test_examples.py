@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; running them as subprocesses
+(with small arguments where the script accepts them) guards against bit-rot in
+the documented entry points.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    """Run one example script in a subprocess and return the completed process."""
+    command = [sys.executable, str(EXAMPLES_DIR / script), *args]
+    return subprocess.run(
+        command,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        scripts = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 3
+
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "gsino" in result.stdout
+        assert "phase III" in result.stdout
+
+    def test_single_region_sino(self):
+        result = run_example("single_region_sino.py", "8", "0.5")
+        assert result.returncode == 0, result.stderr
+        assert "greedy SINO" in result.stdout
+        assert "anneal SINO" in result.stdout
+
+    def test_compare_flows_ibm(self):
+        result = run_example("compare_flows_ibm.py", "ibm01", "0.3", "0.01")
+        assert result.returncode == 0, result.stderr
+        assert "gsino" in result.stdout
+
+    def test_crosstalk_characterization(self):
+        result = run_example("crosstalk_characterization.py")
+        assert result.returncode == 0, result.stderr
+        assert "rank correlation" in result.stdout
+
+    def test_reproduce_paper_tables_small(self):
+        result = run_example("reproduce_paper_tables.py", "0.01", "ibm01")
+        assert result.returncode == 0, result.stderr
+        assert "Table 1" in result.stdout
+        assert "Table 3" in result.stdout

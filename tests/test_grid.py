@@ -1,0 +1,266 @@
+"""Tests for the routing grid, nets, sensitivity oracles and Steiner estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.nets import Net, Netlist, Pin
+from repro.grid.regions import HORIZONTAL, VERTICAL, Region, RoutingGrid
+from repro.grid.sensitivity import (
+    ExplicitSensitivity,
+    RandomPairwiseSensitivity,
+)
+from repro.grid.steiner import hpwl, prim_steiner_length, rsmt_length_estimate, steiner_ratio
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(
+        num_cols=4,
+        num_rows=3,
+        chip_width=400.0,
+        chip_height=300.0,
+        horizontal_capacity=10,
+        vertical_capacity=8,
+    )
+
+
+class TestRoutingGrid:
+    def test_region_lookup_and_geometry(self, grid):
+        region = grid.region((1, 2))
+        assert region.width == pytest.approx(100.0)
+        assert region.height == pytest.approx(100.0)
+        assert region.coord == (1, 2)
+        assert region.center == pytest.approx((150.0, 250.0))
+        assert grid.num_regions == 12
+
+    def test_region_of_point_and_clamping(self, grid):
+        assert grid.region_of_point(0.0, 0.0).coord == (0, 0)
+        assert grid.region_of_point(399.9, 299.9).coord == (3, 2)
+        assert grid.region_of_point(400.0, 300.0).coord == (3, 2)
+        with pytest.raises(ValueError):
+            grid.region_of_point(401.0, 10.0)
+
+    def test_unknown_region_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.region((9, 9))
+        assert (9, 9) not in grid
+        assert (1, 1) in grid
+
+    def test_neighbors(self, grid):
+        assert set(grid.neighbors((0, 0))) == {(1, 0), (0, 1)}
+        assert set(grid.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_edge_direction_and_length(self, grid):
+        assert grid.edge_direction((0, 0), (1, 0)) == HORIZONTAL
+        assert grid.edge_direction((2, 1), (2, 2)) == VERTICAL
+        assert grid.edge_length((0, 0), (1, 0)) == pytest.approx(100.0)
+        assert grid.edge_length((2, 1), (2, 2)) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            grid.edge_direction((0, 0), (1, 1))
+
+    def test_bounding_box_regions(self, grid):
+        box = grid.bounding_box_regions([(0, 0), (2, 1)])
+        assert len(box) == 6
+        margin = grid.bounding_box_regions([(0, 0), (2, 1)], margin=1)
+        assert len(margin) == 12  # clipped to the grid
+        with pytest.raises(ValueError):
+            grid.bounding_box_regions([])
+
+    def test_manhattan_distance(self, grid):
+        assert grid.manhattan_distance_um((0, 0), (2, 1)) == pytest.approx(300.0)
+
+    def test_capacity_and_span_by_direction(self, grid):
+        region = grid.region((0, 0))
+        assert region.capacity(HORIZONTAL) == 10
+        assert region.capacity(VERTICAL) == 8
+        assert region.span(HORIZONTAL) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            region.capacity("diagonal")
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(0, 3, 100, 100, 5, 5)
+        with pytest.raises(ValueError):
+            RoutingGrid(2, 2, -1, 100, 5, 5)
+        with pytest.raises(ValueError):
+            RoutingGrid(2, 2, 100, 100, 0, 5)
+        with pytest.raises(ValueError):
+            RoutingGrid(2, 2, 100, 100, 5, 5, track_pitch_um=0.0)
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region(ix=-1, iy=0, width=1, height=1, horizontal_capacity=1, vertical_capacity=1)
+        with pytest.raises(ValueError):
+            Region(ix=0, iy=0, width=0, height=1, horizontal_capacity=1, vertical_capacity=1)
+
+
+class TestPinsAndNets:
+    def test_pin_distance(self):
+        assert Pin(0, 0).manhattan_distance(Pin(3, 4)) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            Pin(-1.0, 0.0)
+
+    def test_net_requires_two_pins(self):
+        with pytest.raises(ValueError):
+            Net(net_id=0, pins=(Pin(0, 0),))
+        with pytest.raises(ValueError):
+            Net(net_id=-1, pins=(Pin(0, 0), Pin(1, 1)))
+
+    def test_net_source_sinks_hpwl(self):
+        net = Net(net_id=0, pins=(Pin(0, 0), Pin(10, 5), Pin(4, 20)))
+        assert net.source == Pin(0, 0)
+        assert len(net.sinks) == 2
+        assert net.hpwl() == pytest.approx(30.0)
+        assert net.source_sink_distances() == [pytest.approx(15.0), pytest.approx(24.0)]
+
+    def test_net_pin_regions(self, grid):
+        net = Net(net_id=0, pins=(Pin(10, 10), Pin(210, 10), Pin(15, 12)))
+        regions = net.pin_regions(grid)
+        assert regions == [(0, 0), (2, 0)]
+
+
+class TestNetlist:
+    def make_netlist(self):
+        nets = [
+            Net(net_id=i, pins=(Pin(0, i * 10.0), Pin(50, i * 10.0)))
+            for i in range(4)
+        ]
+        return Netlist(nets, sensitivity={0: {1}, 2: {3}}, name="t")
+
+    def test_lookup_and_iteration(self):
+        netlist = self.make_netlist()
+        assert netlist.num_nets == 4
+        assert len(netlist) == 4
+        assert netlist.net(2).net_id == 2
+        assert [net.net_id for net in netlist.nets()] == [0, 1, 2, 3]
+        assert 3 in netlist and 9 not in netlist
+        with pytest.raises(KeyError):
+            netlist.net(9)
+
+    def test_duplicate_ids_rejected(self):
+        pins = (Pin(0, 0), Pin(1, 1))
+        with pytest.raises(ValueError):
+            Netlist([Net(0, pins), Net(0, pins)])
+
+    def test_sensitivity_is_symmetric(self):
+        netlist = self.make_netlist()
+        assert netlist.are_sensitive(0, 1)
+        assert netlist.are_sensitive(1, 0)
+        assert not netlist.are_sensitive(0, 2)
+
+    def test_sensitivity_rate_definition(self):
+        netlist = self.make_netlist()
+        assert netlist.sensitivity_rate(0) == pytest.approx(1 / 3)
+        assert netlist.average_sensitivity_rate() == pytest.approx(1 / 3)
+
+    def test_local_sensitivity_map(self):
+        netlist = self.make_netlist()
+        local = netlist.local_sensitivity_map([0, 1, 2])
+        assert local[0] == {1}
+        assert local[2] == set()
+
+    def test_aggressors_among(self):
+        netlist = self.make_netlist()
+        assert netlist.aggressors_among(0, [1, 2, 3]) == {1}
+
+    def test_with_sensitivity_replaces_oracle(self):
+        netlist = self.make_netlist()
+        rewired = netlist.with_sensitivity({0: {3}})
+        assert rewired.are_sensitive(0, 3)
+        assert not rewired.are_sensitive(0, 1)
+
+    def test_unknown_sensitivity_entry_rejected(self):
+        pins = (Pin(0, 0), Pin(1, 1))
+        with pytest.raises(ValueError):
+            Netlist([Net(0, pins)], sensitivity={5: {0}})
+
+    def test_aggregate_statistics(self):
+        netlist = self.make_netlist()
+        assert netlist.total_hpwl() == pytest.approx(200.0)
+        assert netlist.average_pin_count() == pytest.approx(2.0)
+
+
+class TestSensitivityOracles:
+    def test_explicit_empty(self):
+        oracle = ExplicitSensitivity.empty()
+        assert not oracle.are_sensitive(0, 1)
+        assert oracle.rate_of(0, 100) == 0.0
+
+    def test_random_oracle_is_symmetric_and_deterministic(self):
+        oracle = RandomPairwiseSensitivity(rate=0.4, seed=3)
+        again = RandomPairwiseSensitivity(rate=0.4, seed=3)
+        for a in range(20):
+            for b in range(a + 1, 20):
+                assert oracle.are_sensitive(a, b) == oracle.are_sensitive(b, a)
+                assert oracle.are_sensitive(a, b) == again.are_sensitive(a, b)
+
+    def test_random_oracle_never_self_sensitive(self):
+        oracle = RandomPairwiseSensitivity(rate=1.0, seed=0)
+        assert not oracle.are_sensitive(7, 7)
+
+    def test_random_oracle_rate_matches_nominal(self):
+        oracle = RandomPairwiseSensitivity(rate=0.3, seed=1)
+        count = 0
+        total = 0
+        for a in range(60):
+            for b in range(a + 1, 60):
+                total += 1
+                count += oracle.are_sensitive(a, b)
+        assert count / total == pytest.approx(0.3, abs=0.05)
+        assert oracle.rate_of(0, 1000) == pytest.approx(0.3)
+
+    def test_random_oracle_rate_validation(self):
+        with pytest.raises(ValueError):
+            RandomPairwiseSensitivity(rate=1.5)
+
+    def test_local_map_symmetry(self):
+        oracle = RandomPairwiseSensitivity(rate=0.5, seed=2)
+        local = oracle.local_sensitivity_map(range(10))
+        for net, others in local.items():
+            for other in others:
+                assert net in local[other]
+
+
+class TestSteiner:
+    def test_hpwl_simple(self):
+        pins = [Pin(0, 0), Pin(10, 0), Pin(0, 5)]
+        assert hpwl(pins) == pytest.approx(15.0)
+        with pytest.raises(ValueError):
+            hpwl([])
+
+    def test_prim_two_pins_is_manhattan(self):
+        pins = [Pin(0, 0), Pin(7, 3)]
+        assert prim_steiner_length(pins) == pytest.approx(10.0)
+
+    def test_prim_single_pin_zero(self):
+        assert prim_steiner_length([Pin(1, 1)]) == 0.0
+
+    def test_rsmt_estimate_small_nets_equal_hpwl(self):
+        pins = [Pin(0, 0), Pin(10, 0), Pin(5, 8)]
+        assert rsmt_length_estimate(pins) == pytest.approx(hpwl(pins))
+
+    def test_rsmt_estimate_never_below_hpwl(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pins = [Pin(float(x), float(y)) for x, y in rng.uniform(0, 100, size=(6, 2))]
+            assert rsmt_length_estimate(pins) >= hpwl(pins) - 1e-9
+
+    def test_rsmt_estimate_never_above_prim(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            pins = [Pin(float(x), float(y)) for x, y in rng.uniform(0, 100, size=(7, 2))]
+            assert rsmt_length_estimate(pins) <= prim_steiner_length(pins) + 1e-9
+
+    def test_steiner_ratio_at_least_one(self):
+        pins = [Pin(0, 0), Pin(10, 10), Pin(20, 0), Pin(10, 25), Pin(3, 17)]
+        assert steiner_ratio(pins) >= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1000), st.floats(0, 1000)), min_size=2, max_size=8))
+    def test_estimate_bounds_property(self, coords):
+        pins = [Pin(x, y) for x, y in coords]
+        estimate = rsmt_length_estimate(pins)
+        assert estimate >= hpwl(pins) - 1e-6
+        assert estimate <= prim_steiner_length(pins) + 1e-6

@@ -1,0 +1,121 @@
+"""Tests for the GSINO configuration and Phase I crosstalk budgeting."""
+
+import pytest
+
+from repro.grid.nets import Net, Netlist, Pin
+from repro.gsino.budgeting import NetBudget, bounds_for_nets, budget_for_net, compute_budgets
+from repro.gsino.config import UM_TO_M, GsinoConfig, default_reference_table
+from repro.noise.lsk import LskModel, linear_reference_table
+from repro.router.weights import WeightConfig
+from repro.tech.itrs import ITRS_100NM, ITRS_130NM
+
+
+class TestGsinoConfig:
+    def test_defaults_resolve_to_paper_values(self):
+        config = GsinoConfig()
+        assert config.resolved_bound() == pytest.approx(0.15, abs=1e-6)
+        assert config.gsino_weights.reserve_shields is True
+        assert config.baseline_weights.reserve_shields is False
+
+    def test_explicit_bound_overrides_technology(self):
+        config = GsinoConfig(crosstalk_bound=0.12)
+        assert config.resolved_bound() == pytest.approx(0.12)
+
+    def test_lsk_model_is_cached(self):
+        config = GsinoConfig()
+        assert config.lsk_model() is config.lsk_model()
+
+    def test_explicit_table_is_used(self):
+        table = linear_reference_table(slope=50.0)
+        config = GsinoConfig(lsk_table=table)
+        assert config.lsk_model().table is table
+
+    def test_with_changes(self):
+        config = GsinoConfig()
+        changed = config.with_changes(length_scale=4.0)
+        assert changed.length_scale == pytest.approx(4.0)
+        assert config.length_scale == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsinoConfig(crosstalk_bound=0.0)
+        with pytest.raises(ValueError):
+            GsinoConfig(length_scale=0.0)
+        with pytest.raises(ValueError):
+            GsinoConfig(sino_effort="exact")
+        with pytest.raises(ValueError):
+            GsinoConfig(refine_kth_shrink=1.5)
+        with pytest.raises(ValueError):
+            GsinoConfig(table_samples=1)
+
+    def test_default_reference_table_window(self):
+        table = default_reference_table(ITRS_100NM)
+        low, high = table.noise_range
+        assert low == pytest.approx(ITRS_100NM.crosstalk_noise_floor)
+        assert high == pytest.approx(ITRS_100NM.crosstalk_noise_ceiling)
+
+    def test_default_reference_table_scales_with_technology(self):
+        table_100 = default_reference_table(ITRS_100NM)
+        table_130 = default_reference_table(ITRS_130NM)
+        assert table_130.noise_range[1] > table_100.noise_range[1]
+
+    def test_resolved_estimator(self):
+        config = GsinoConfig()
+        assert config.resolved_estimator() is config.resolved_estimator()
+
+
+class TestBudgeting:
+    @pytest.fixture
+    def model(self):
+        # noise = 100 * LSK: a 0.15 V bound maps to an LSK budget of 1.5e-3.
+        return LskModel(table=linear_reference_table(slope=100.0))
+
+    def test_budget_for_two_pin_net(self, model):
+        net = Net(net_id=0, pins=(Pin(0, 0), Pin(500.0, 250.0)))
+        budget = budget_for_net(net, model, noise_bound=0.15)
+        assert budget.lsk_budget == pytest.approx(1.5e-3)
+        # Manhattan distance 750 um -> Kth = 1.5e-3 / 750e-6 = 2.0
+        assert budget.kth == pytest.approx(2.0)
+        assert budget.sink_path_lengths_m == (pytest.approx(750e-6),)
+
+    def test_multi_sink_takes_minimum(self, model):
+        net = Net(net_id=0, pins=(Pin(0, 0), Pin(100.0, 0.0), Pin(1000.0, 500.0)))
+        budget = budget_for_net(net, model, noise_bound=0.15)
+        # The far sink (1500 um) is the binding one.
+        assert budget.kth == pytest.approx(1.5e-3 / 1500e-6)
+
+    def test_length_scale_tightens_bounds(self, model):
+        net = Net(net_id=0, pins=(Pin(0, 0), Pin(500.0, 250.0)))
+        plain = budget_for_net(net, model, noise_bound=0.15, length_scale=1.0)
+        scaled = budget_for_net(net, model, noise_bound=0.15, length_scale=5.0)
+        assert scaled.kth == pytest.approx(plain.kth / 5.0)
+
+    def test_zero_length_sink_uses_minimum_path(self, model):
+        net = Net(net_id=0, pins=(Pin(10.0, 10.0), Pin(10.0, 10.0)))
+        budget = budget_for_net(net, model, noise_bound=0.15)
+        assert budget.kth > 0.0
+
+    def test_compute_budgets_covers_all_nets(self, model):
+        nets = [Net(net_id=i, pins=(Pin(0, 0), Pin(100.0 * (i + 1), 0))) for i in range(5)]
+        netlist = Netlist(nets)
+        config = GsinoConfig(lsk_table=linear_reference_table(slope=100.0))
+        budgets = compute_budgets(netlist, config)
+        assert set(budgets) == set(netlist.net_ids())
+        # Longer nets receive tighter per-segment bounds.
+        assert budgets[4].kth < budgets[0].kth
+
+    def test_bounds_for_nets_filters(self, model):
+        budgets = {
+            0: NetBudget(net_id=0, lsk_budget=1e-3, kth=1.0, sink_path_lengths_m=(1e-3,)),
+            1: NetBudget(net_id=1, lsk_budget=1e-3, kth=2.0, sink_path_lengths_m=(5e-4,)),
+        }
+        assert bounds_for_nets(budgets, [1, 7]) == {1: 2.0}
+
+    def test_net_budget_validation(self):
+        with pytest.raises(ValueError):
+            NetBudget(net_id=0, lsk_budget=0.0, kth=1.0, sink_path_lengths_m=(1e-3,))
+        with pytest.raises(ValueError):
+            NetBudget(net_id=0, lsk_budget=1e-3, kth=0.0, sink_path_lengths_m=(1e-3,))
+
+    def test_um_to_m_constant(self):
+        assert UM_TO_M == pytest.approx(1e-6)

@@ -1,0 +1,154 @@
+"""Tests for the crosstalk / wire-length / area evaluation metrics."""
+
+import pytest
+
+from repro.grid.nets import Net, Netlist, Pin
+from repro.grid.regions import HORIZONTAL, VERTICAL, RoutingGrid
+from repro.grid.routes import RouteTree, RoutingSolution
+from repro.gsino.config import GsinoConfig
+from repro.gsino.metrics import (
+    CrosstalkReport,
+    compute_flow_metrics,
+    evaluate_crosstalk,
+    net_lsk_value,
+    net_noise_voltage,
+    panel_coupling_cache,
+    shields_by_region,
+)
+from repro.noise.lsk import LskModel, linear_reference_table
+from repro.sino.panel import SHIELD, SinoProblem, SinoSolution
+
+
+@pytest.fixture
+def setup():
+    """A 2x1 grid with two sensitive nets running in parallel through both regions."""
+    grid = RoutingGrid(
+        num_cols=2,
+        num_rows=1,
+        chip_width=2000.0,
+        chip_height=1000.0,
+        horizontal_capacity=4,
+        vertical_capacity=4,
+        track_pitch_um=1.0,
+    )
+    nets = [
+        Net(net_id=0, pins=(Pin(100, 500), Pin(1900, 500))),
+        Net(net_id=1, pins=(Pin(100, 510), Pin(1900, 510))),
+    ]
+    netlist = Netlist(nets, sensitivity={0: {1}})
+    edges = frozenset({((0, 0), (1, 0))})
+    routes = {
+        0: RouteTree(0, ((0, 0), (1, 0)), edges),
+        1: RouteTree(1, ((0, 0), (1, 0)), edges),
+    }
+    routing = RoutingSolution(grid, netlist, routes)
+    problem = SinoProblem.build([0, 1], {0: {1}}, default_kth=10.0)
+    return grid, netlist, routing, problem
+
+
+class TestNetLskAndNoise:
+    def test_adjacent_nets_accumulate_full_coupling(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+        }
+        couplings = panel_coupling_cache(panels)
+        # K = 1.0 in both regions, net crosses 1000 um per region (half-edge on
+        # each side of the single edge): LSK = 1.0 * 1000e-6 + ... = 1e-3.
+        lsk = net_lsk_value(0, routing, couplings)
+        assert lsk == pytest.approx(1.0e-3)
+
+    def test_shielded_panels_reduce_lsk(self, setup):
+        grid, netlist, routing, problem = setup
+        bare = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+        }
+        shielded = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, 1]),
+        }
+        lsk_bare = net_lsk_value(0, routing, panel_coupling_cache(bare))
+        lsk_shielded = net_lsk_value(0, routing, panel_coupling_cache(shielded))
+        assert lsk_shielded < lsk_bare
+
+    def test_length_scale_multiplies_lsk(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+        }
+        couplings = panel_coupling_cache(panels)
+        assert net_lsk_value(0, routing, couplings, length_scale=3.0) == pytest.approx(
+            3.0 * net_lsk_value(0, routing, couplings)
+        )
+
+    def test_noise_uses_table(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+        }
+        model = LskModel(table=linear_reference_table(slope=100.0))
+        noise = net_noise_voltage(0, routing, panel_coupling_cache(panels), model)
+        assert noise == pytest.approx(100.0 * 1.0e-3)
+
+
+class TestEvaluateCrosstalk:
+    def test_violations_detected_against_bound(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+        }
+        model = LskModel(table=linear_reference_table(slope=200.0))  # noise = 0.2 V
+        report = evaluate_crosstalk(routing, panels, model, bound=0.15)
+        assert report.num_nets == 2
+        assert set(report.violating_nets) == {0, 1}
+        assert report.violation_fraction == pytest.approx(1.0)
+        assert report.worst_noise() > 0.15
+        assert report.excess_of(0) > 0.0
+
+    def test_no_violations_with_loose_bound(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, 1]),
+        }
+        model = LskModel(table=linear_reference_table(slope=100.0))
+        report = evaluate_crosstalk(routing, panels, model, bound=0.15)
+        assert report.num_violations == 0
+        assert report.violation_fraction == 0.0
+
+    def test_empty_report_defaults(self):
+        report = CrosstalkReport(bound=0.15)
+        assert report.num_nets == 0
+        assert report.worst_noise() == 0.0
+        assert report.violation_fraction == 0.0
+
+
+class TestFlowMetrics:
+    def test_compute_flow_metrics_summary(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, 1]),
+        }
+        config = GsinoConfig(lsk_table=linear_reference_table(slope=100.0))
+        metrics, congestion = compute_flow_metrics(routing, panels, config)
+        summary = metrics.summary()
+        assert summary["average_wirelength_um"] == pytest.approx(1000.0)
+        assert summary["total_shields"] == pytest.approx(2.0)
+        assert summary["num_violations"] == pytest.approx(0.0)
+        assert summary["routing_area_um2"] >= grid.chip_width * grid.chip_height
+
+    def test_shields_by_region_extraction(self, setup):
+        grid, netlist, routing, problem = setup
+        panels = {
+            ((0, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, SHIELD, SHIELD, 1]),
+            ((1, 0), HORIZONTAL): SinoSolution(problem=problem, layout=[0, 1]),
+        }
+        shields = shields_by_region(panels)
+        assert shields[((0, 0), HORIZONTAL)] == pytest.approx(2.0)
+        assert shields[((1, 0), HORIZONTAL)] == pytest.approx(0.0)

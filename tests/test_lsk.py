@@ -1,0 +1,156 @@
+"""Tests for the LSK model: Equation 1, the lookup table, budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.keff import PanelOccupant
+from repro.noise.lsk import (
+    LskModel,
+    LskTable,
+    RegionContribution,
+    compute_lsk,
+    linear_reference_table,
+)
+
+
+@pytest.fixture
+def simple_table():
+    """A small monotone table: noise = 100 * LSK over [1e-3, 2e-3]."""
+    lsk = np.linspace(1e-3, 2e-3, 11)
+    noise = 100.0 * lsk
+    return LskTable(lsk_values=lsk, noise_values=noise)
+
+
+class TestRegionContribution:
+    def test_lsk_term(self):
+        contribution = RegionContribution(region_id="r0", length=2e-3, coupling=1.5)
+        assert contribution.lsk_term == pytest.approx(3e-3)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            RegionContribution(region_id="r0", length=-1.0, coupling=1.0)
+        with pytest.raises(ValueError):
+            RegionContribution(region_id="r0", length=1.0, coupling=-1.0)
+
+    def test_compute_lsk_is_a_sum(self):
+        contributions = [
+            RegionContribution(region_id=i, length=1e-3, coupling=float(i))
+            for i in range(4)
+        ]
+        assert compute_lsk(contributions) == pytest.approx(1e-3 * (0 + 1 + 2 + 3))
+
+    def test_compute_lsk_empty(self):
+        assert compute_lsk([]) == 0.0
+
+
+class TestLskTable:
+    def test_interpolation_inside(self, simple_table):
+        assert simple_table.noise_for(1.5e-3) == pytest.approx(0.15)
+
+    def test_extrapolation_below_goes_through_origin(self, simple_table):
+        assert simple_table.noise_for(0.5e-3) == pytest.approx(0.05)
+        assert simple_table.noise_for(0.0) == pytest.approx(0.0)
+
+    def test_extrapolation_above_uses_last_slope(self, simple_table):
+        assert simple_table.noise_for(3e-3) == pytest.approx(0.3)
+
+    def test_inverse_lookup_round_trip(self, simple_table):
+        for noise in (0.05, 0.12, 0.15, 0.19, 0.25):
+            lsk = simple_table.lsk_for_noise(noise)
+            assert simple_table.noise_for(lsk) == pytest.approx(noise, rel=1e-6)
+
+    def test_inverse_lookup_rejects_non_positive(self, simple_table):
+        with pytest.raises(ValueError):
+            simple_table.lsk_for_noise(0.0)
+
+    def test_noise_range(self, simple_table):
+        low, high = simple_table.noise_range
+        assert low == pytest.approx(0.1)
+        assert high == pytest.approx(0.2)
+
+    def test_requires_monotone_noise(self):
+        with pytest.raises(ValueError):
+            LskTable(lsk_values=[1.0, 2.0, 3.0], noise_values=[0.2, 0.1, 0.3])
+
+    def test_requires_strictly_increasing_lsk(self):
+        with pytest.raises(ValueError):
+            LskTable(lsk_values=[1.0, 1.0], noise_values=[0.1, 0.2])
+
+    def test_requires_at_least_two_entries(self):
+        with pytest.raises(ValueError):
+            LskTable(lsk_values=[1.0], noise_values=[0.1])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            LskTable(lsk_values=[-1.0, 1.0], noise_values=[0.1, 0.2])
+
+    def test_serialisation_round_trip(self, simple_table, tmp_path):
+        path = tmp_path / "table.json"
+        simple_table.save(path)
+        loaded = LskTable.load(path)
+        assert loaded.num_entries == simple_table.num_entries
+        assert loaded.noise_for(1.3e-3) == pytest.approx(simple_table.noise_for(1.3e-3))
+
+    def test_dict_round_trip(self, simple_table):
+        rebuilt = LskTable.from_dict(simple_table.to_dict())
+        assert np.allclose(rebuilt.lsk_values, simple_table.lsk_values)
+
+    def test_rejects_negative_lookup(self, simple_table):
+        with pytest.raises(ValueError):
+            simple_table.noise_for(-1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=5e-3), st.floats(min_value=0.0, max_value=5e-3))
+    def test_monotone_everywhere(self, a, b):
+        lsk = np.linspace(1e-3, 2e-3, 11)
+        table = LskTable(lsk_values=lsk, noise_values=100.0 * lsk)
+        low, high = sorted((a, b))
+        assert table.noise_for(low) <= table.noise_for(high) + 1e-12
+
+
+class TestLinearReferenceTable:
+    def test_paper_like_window(self):
+        table = linear_reference_table(slope=100.0)
+        low, high = table.noise_range
+        assert low == pytest.approx(0.10)
+        assert high == pytest.approx(0.20)
+        assert table.num_entries == 100
+
+    def test_slope_is_respected(self):
+        table = linear_reference_table(slope=200.0)
+        lsk = table.lsk_for_noise(0.15)
+        assert 200.0 * lsk == pytest.approx(0.15, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_reference_table(slope=0.0)
+        with pytest.raises(ValueError):
+            linear_reference_table(slope=1.0, noise_floor=0.3, noise_ceiling=0.2)
+        with pytest.raises(ValueError):
+            linear_reference_table(slope=1.0, num_entries=1)
+
+
+class TestLskModel:
+    def test_noise_of_contributions(self, simple_table):
+        model = LskModel(table=simple_table)
+        contributions = [RegionContribution(region_id=0, length=1e-3, coupling=1.5)]
+        assert model.noise_of(contributions) == pytest.approx(0.15)
+        assert model.lsk_of(contributions) == pytest.approx(1.5e-3)
+
+    def test_budgets(self, simple_table):
+        model = LskModel(table=simple_table)
+        budget = model.lsk_budget(0.15)
+        assert budget == pytest.approx(1.5e-3)
+        assert model.coupling_budget(0.15, path_length=1e-3) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            model.coupling_budget(0.15, path_length=0.0)
+
+    def test_panel_noise_helper(self, simple_table):
+        model = LskModel(table=simple_table)
+        occupants = [PanelOccupant(track=0, net_id=1), PanelOccupant(track=1, net_id=2)]
+        noise = model.panel_noise(occupants, {1: {2}, 2: {1}}, length=1e-3)
+        # K = 1 for each net, LSK = 1e-3, noise = 0.1 V from the table.
+        assert noise[1] == pytest.approx(0.1)
+        assert noise[2] == pytest.approx(0.1)

@@ -1,0 +1,155 @@
+"""Tests for the MNA transient simulator against analytic circuit behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import GROUND
+from repro.circuit.mna import TransientSimulator, peak_noise, simulate
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import constant, ramp, step
+
+
+def rc_circuit(resistance: float, capacitance: float, vdd: float) -> Circuit:
+    """A driver charging a capacitor through a resistor (step input)."""
+    circuit = Circuit("rc")
+    circuit.add_voltage_source("vin", "in", GROUND, waveform=step(vdd))
+    circuit.add_resistor("r1", "in", "out", resistance)
+    circuit.add_capacitor("c1", "out", GROUND, capacitance)
+    return circuit
+
+
+class TestRcCharging:
+    def test_final_value_reaches_supply(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        result = simulate(circuit, stop_time=2e-9, num_steps=800)
+        assert result.final_voltage("out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_exponential_charging_matches_analytic(self):
+        resistance, capacitance, vdd = 100.0, 1e-12, 1.0
+        tau = resistance * capacitance
+        circuit = rc_circuit(resistance, capacitance, vdd)
+        result = simulate(circuit, stop_time=5 * tau, num_steps=2000)
+        voltage = result.voltage("out")
+        times = result.times
+        expected = vdd * (1.0 - np.exp(-times / tau))
+        error = np.max(np.abs(voltage - expected))
+        assert error < 0.01 * vdd
+
+    def test_voltage_at_one_tau(self):
+        resistance, capacitance = 50.0, 2e-12
+        tau = resistance * capacitance
+        circuit = rc_circuit(resistance, capacitance, 1.0)
+        result = simulate(circuit, stop_time=tau, num_steps=1000)
+        assert result.final_voltage("out") == pytest.approx(1.0 - math.exp(-1.0), abs=0.01)
+
+
+class TestDcAndDividers:
+    def test_resistive_divider(self):
+        circuit = Circuit("divider")
+        circuit.add_voltage_source("vin", "in", GROUND, waveform=constant(2.0))
+        circuit.add_resistor("r1", "in", "mid", 100.0)
+        circuit.add_resistor("r2", "mid", GROUND, 300.0)
+        result = simulate(circuit, stop_time=1e-9, num_steps=100)
+        assert result.final_voltage("mid") == pytest.approx(1.5, abs=1e-6)
+
+    def test_ground_waveform_always_zero(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        result = simulate(circuit, stop_time=1e-9, num_steps=100)
+        assert np.allclose(result.voltage(GROUND), 0.0)
+
+    def test_source_current_through_divider(self):
+        circuit = Circuit("divider")
+        circuit.add_voltage_source("vin", "in", GROUND, waveform=constant(1.0))
+        circuit.add_resistor("r1", "in", GROUND, 100.0)
+        result = simulate(circuit, stop_time=1e-9, num_steps=50)
+        # MNA source current convention: current flows from + terminal through
+        # the source; magnitude must equal V/R.
+        assert abs(result.current("vin")[-1]) == pytest.approx(0.01, rel=1e-6)
+
+
+class TestRlcBehaviour:
+    def test_underdamped_rlc_oscillates_and_settles(self):
+        circuit = Circuit("rlc")
+        circuit.add_voltage_source("vin", "in", GROUND, waveform=step(1.0))
+        circuit.add_resistor("r1", "in", "a", 1.0)
+        circuit.add_inductor("l1", "a", "out", 1e-9)
+        circuit.add_capacitor("c1", "out", GROUND, 1e-12)
+        period = 2 * math.pi * math.sqrt(1e-9 * 1e-12)
+        result = simulate(circuit, stop_time=40 * period, num_steps=4000)
+        voltage = result.voltage("out")
+        # Underdamped: it must overshoot the final value, then settle to it.
+        assert np.max(voltage) > 1.05
+        assert result.final_voltage("out") == pytest.approx(1.0, abs=0.02)
+
+    def test_mutual_inductance_induces_noise_on_quiet_line(self):
+        circuit = Circuit("coupled")
+        circuit.add_voltage_source("vin", "in", GROUND, waveform=ramp(1.0, 50e-12))
+        circuit.add_resistor("rdrv", "in", "a1", 30.0)
+        circuit.add_inductor("l1", "a1", "a2", 1e-9)
+        circuit.add_capacitor("c1", "a2", GROUND, 50e-15)
+        # Quiet victim held at 0 by its own driver.
+        circuit.add_voltage_source("vq", "q", GROUND, waveform=constant(0.0))
+        circuit.add_resistor("rq", "q", "v1", 30.0)
+        circuit.add_inductor("l2", "v1", "v2", 1e-9)
+        circuit.add_capacitor("c2", "v2", GROUND, 50e-15)
+        circuit.add_mutual("k12", "l1", "l2", 0.5e-9)
+        result = simulate(circuit, stop_time=2e-9, num_steps=1500)
+        noise = result.peak_abs_voltage("v2")
+        assert noise > 0.01  # the coupled line definitely moves
+        assert noise < 1.0   # but less than the full aggressor swing
+
+    def test_no_mutual_no_noise(self):
+        circuit = Circuit("uncoupled")
+        circuit.add_voltage_source("vin", "in", GROUND, waveform=ramp(1.0, 50e-12))
+        circuit.add_resistor("rdrv", "in", "a1", 30.0)
+        circuit.add_inductor("l1", "a1", "a2", 1e-9)
+        circuit.add_capacitor("c1", "a2", GROUND, 50e-15)
+        circuit.add_voltage_source("vq", "q", GROUND, waveform=constant(0.0))
+        circuit.add_resistor("rq", "q", "v1", 30.0)
+        circuit.add_inductor("l2", "v1", "v2", 1e-9)
+        circuit.add_capacitor("c2", "v2", GROUND, 50e-15)
+        result = simulate(circuit, stop_time=2e-9, num_steps=500)
+        assert result.peak_abs_voltage("v2") < 1e-9
+
+
+class TestSimulatorInterface:
+    def test_invalid_time_arguments(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        simulator = TransientSimulator(circuit)
+        with pytest.raises(ValueError):
+            simulator.run(stop_time=0.0)
+        with pytest.raises(ValueError):
+            simulator.run(stop_time=1e-9, time_step=1e-9, num_steps=10)
+        with pytest.raises(ValueError):
+            simulator.run(stop_time=1e-9, time_step=2e-9)
+
+    def test_time_step_and_num_steps_agree(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        by_steps = TransientSimulator(circuit).run(stop_time=1e-9, num_steps=500)
+        by_step_size = TransientSimulator(circuit).run(stop_time=1e-9, time_step=2e-12)
+        assert by_steps.times.size == by_step_size.times.size
+        assert by_steps.final_voltage("out") == pytest.approx(
+            by_step_size.final_voltage("out"), abs=1e-6
+        )
+
+    def test_unknown_node_and_branch_raise(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        result = simulate(circuit, stop_time=1e-9, num_steps=50)
+        with pytest.raises(KeyError):
+            result.voltage("nope")
+        with pytest.raises(KeyError):
+            result.current("nope")
+
+    def test_peak_noise_helper(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        result = simulate(circuit, stop_time=2e-9, num_steps=200)
+        assert peak_noise(result, ["out"]) == pytest.approx(result.peak_abs_voltage("out"))
+        with pytest.raises(ValueError):
+            peak_noise(result, [])
+
+    def test_settle_error(self):
+        circuit = rc_circuit(100.0, 1e-12, 1.0)
+        result = simulate(circuit, stop_time=5e-9, num_steps=500)
+        assert result.settle_error("out", 1.0) < 1e-3

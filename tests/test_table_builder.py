@@ -1,0 +1,148 @@
+"""Tests for the LSK table characterisation sweep and the fidelity study."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.coupled_lines import WireRole
+from repro.noise.fidelity import kendall_tau, lsk_fidelity_report, pearson_r
+from repro.noise.keff import DEFAULT_KEFF_MODEL
+from repro.noise.table_builder import (
+    LskTableBuilder,
+    TableBuildConfig,
+    build_default_table,
+    isotonic_fit,
+)
+
+
+class TestIsotonicFit:
+    def test_already_monotone_unchanged(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert np.allclose(isotonic_fit(values), values)
+
+    def test_single_violation_pooled(self):
+        fitted = isotonic_fit([1.0, 3.0, 2.0, 4.0])
+        assert np.all(np.diff(fitted) >= -1e-12)
+        assert fitted[1] == pytest.approx(2.5)
+        assert fitted[2] == pytest.approx(2.5)
+
+    def test_strictly_decreasing_becomes_flat(self):
+        fitted = isotonic_fit([3.0, 2.0, 1.0])
+        assert np.allclose(fitted, 2.0)
+
+    def test_empty(self):
+        assert isotonic_fit([]).size == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=30))
+    def test_output_is_monotone_and_mean_preserving(self, values):
+        fitted = isotonic_fit(values)
+        assert np.all(np.diff(fitted) >= -1e-9)
+        assert float(np.mean(fitted)) == pytest.approx(float(np.mean(values)), abs=1e-9)
+
+
+class TestTableBuildConfig:
+    def test_defaults_resolve(self):
+        config = TableBuildConfig()
+        assert config.resolved_interface() is not None
+        assert config.resolved_noise_floor() == pytest.approx(0.10, abs=1e-6)
+        assert config.resolved_noise_ceiling() == pytest.approx(0.20, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableBuildConfig(num_entries=1)
+        with pytest.raises(ValueError):
+            TableBuildConfig(num_samples=2)
+        with pytest.raises(ValueError):
+            TableBuildConfig(wire_lengths=())
+        with pytest.raises(ValueError):
+            TableBuildConfig(track_counts=(1,))
+        with pytest.raises(ValueError):
+            TableBuildConfig(sensitivity_rates=(0.0,))
+        with pytest.raises(ValueError):
+            TableBuildConfig(shield_probability=1.0)
+
+
+class TestLskTableBuilder:
+    @pytest.fixture(scope="class")
+    def built(self):
+        config = TableBuildConfig(
+            num_samples=24,
+            num_entries=40,
+            wire_lengths=(0.5e-3, 1.0e-3),
+            track_counts=(3, 4, 5),
+            segments_per_wire=3,
+            num_steps=200,
+            seed=5,
+        )
+        builder = LskTableBuilder(config)
+        table = builder.build()
+        return builder, table
+
+    def test_samples_collected(self, built):
+        builder, _ = built
+        assert len(builder.samples) == 24
+        for sample in builder.samples:
+            assert sample.noise_voltage >= 0.0
+            assert sample.lsk_value >= 0.0
+            assert any(role is WireRole.VICTIM for role in sample.roles)
+
+    def test_table_shape(self, built):
+        _, table = built
+        assert table.num_entries == 40
+        noise = table.noise_values
+        assert np.all(np.diff(noise) >= -1e-12)
+
+    def test_lsk_of_roles_consistent_with_keff(self):
+        roles = (WireRole.AGGRESSOR, WireRole.VICTIM, WireRole.SHIELD, WireRole.AGGRESSOR)
+        value = LskTableBuilder.lsk_of_roles(roles, 1e-3, DEFAULT_KEFF_MODEL)
+        # Victim at track 1: aggressor at track 0 (d=1), aggressor at track 3
+        # behind a shield (d=2, one shield), adjacent shield bonus applies.
+        expected_k = (1.0 + (1.0 / 2.0) / DEFAULT_KEFF_MODEL.shield_attenuation)
+        expected_k /= DEFAULT_KEFF_MODEL.adjacent_shield_bonus
+        assert value == pytest.approx(1e-3 * expected_k)
+
+    def test_lsk_of_roles_requires_victim(self):
+        with pytest.raises(ValueError):
+            LskTableBuilder.lsk_of_roles((WireRole.AGGRESSOR,), 1e-3, DEFAULT_KEFF_MODEL)
+
+    def test_build_default_table_smoke(self):
+        table = build_default_table(num_samples=16, seed=2)
+        assert table.num_entries == 100
+
+
+class TestFidelityMetrics:
+    def test_kendall_tau_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_kendall_tau_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_kendall_tau_validation(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1])
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+    def test_pearson_r_linear(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [2.0, 4.0, 6.0, 8.0]
+        assert pearson_r(x, y) == pytest.approx(1.0)
+
+    def test_pearson_r_constant_is_zero(self):
+        assert pearson_r([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_fidelity_report_supports_paper_claims(self):
+        report = lsk_fidelity_report(
+            num_samples=12,
+            lengths=(0.5e-3, 1.0e-3, 1.5e-3),
+            segments_per_wire=3,
+            num_steps=200,
+            seed=3,
+        )
+        # The LSK model must rank noise well and noise must grow with length.
+        assert report.rank_correlation > 0.4
+        assert report.length_linearity > 0.6
+        assert report.num_samples == 12
+        assert report.passes(min_rank=0.3, min_linearity=0.5)
