@@ -53,7 +53,7 @@ def test_table3_routing_area(benchmark, circuit_name, rate, bench_flow_config):
     # Paper shape: iSINO pays the largest area premium, GSINO stays at or
     # below it (a small per-instance tolerance absorbs the noise of the
     # scaled-down instances; the suite-level trend is checked in the analysis
-    # tests and recorded in EXPERIMENTS.md).
+    # tests).
     assert isino.area >= id_no.area - 1e-6
     assert gsino.area <= isino.area * 1.10 + 1e-6
     assert isino_overhead < 0.5

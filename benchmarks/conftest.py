@@ -2,8 +2,8 @@
 
 Every benchmark runs a scaled-down instance of the paper's experimental
 setup; the scale is chosen so the whole harness finishes in a few minutes of
-CPU while preserving the per-region statistics (see DESIGN.md §3 and
-EXPERIMENTS.md for the scale used in the recorded results).
+CPU while preserving the per-region statistics (see DESIGN.md, "Scaled-
+instance methodology").
 """
 
 from __future__ import annotations

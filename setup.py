@@ -6,6 +6,55 @@ cannot build), ``python setup.py develop`` performs an equivalent editable
 install using only setuptools.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Single-source the version from ``repro/__init__.py``."""
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("could not find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-gsino",
+    version=read_version(),
+    description=(
+        "Reproduction of Ma & He (DAC 2002), 'Towards Global Routing With "
+        "RLC Crosstalk Constraints': the three-phase GSINO flow, its "
+        "baselines, and a pluggable parallel execution engine"
+    ),
+    long_description=Path(__file__).parent.joinpath("DESIGN.md").read_text(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Electronic Design Automation (EDA)",
+    ],
+)

@@ -6,7 +6,10 @@ iterative-deletion global router, the three-phase GSINO flow and the two
 baseline flows the paper compares against, plus every substrate they need
 (technology parameters, a coupled-RLC transient simulator standing in for
 SPICE, synthetic ISPD'98/IBM-style benchmarks, and the evaluation metrics of
-Tables 1-3).
+Tables 1-3).  The :mod:`repro.engine` layer scales all of it: pluggable
+serial/thread/process execution backends, a content-addressed cache of panel
+solutions shared across flows and phases, and sweep orchestration over the
+experiment grid.
 
 Quick start::
 
@@ -18,11 +21,11 @@ Quick start::
     results = compare_flows(circuit.grid, circuit.netlist, config)
     print(results["gsino"].metrics.summary())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured comparison of every table.
+See DESIGN.md (repository root) for the full system inventory, layer map
+and the scaled-instance methodology.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "tech",
@@ -31,6 +34,7 @@ __all__ = [
     "sino",
     "grid",
     "router",
+    "engine",
     "gsino",
     "bench",
     "analysis",

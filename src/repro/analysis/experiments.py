@@ -10,8 +10,11 @@ corresponding table reports:
 * :func:`table3_rows` — routing area of ID+NO, iSINO and GSINO (Table 3).
 
 All drivers share :func:`run_circuit_comparison`, which runs the flows once
-per (circuit, sensitivity-rate) pair and caches nothing across calls: the
-experiments are deliberately stateless and reproducible from the seed.
+per (circuit, sensitivity-rate) pair.  Instances are independent and seeded,
+so :func:`run_table_suite` fans them over a
+:class:`~repro.engine.sweep.SweepRunner` execution backend; within each
+instance the three flows share one solution cache.  Results are identical
+for every backend — the experiments stay reproducible from the seed alone.
 """
 
 from __future__ import annotations
@@ -21,6 +24,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_percentage, format_table
 from repro.bench.ibm import GeneratedCircuit, generate_circuit
+from repro.engine.backends import BACKEND_NAMES, create_backend
+from repro.engine.cache import SolutionCache
+from repro.engine.panels import Engine
+from repro.engine.sweep import SweepRunner
 from repro.gsino.config import GsinoConfig
 from repro.gsino.pipeline import FlowResult, compare_flows
 
@@ -47,6 +54,15 @@ class ExperimentConfig:
     gsino:
         Flow configuration template; its ``length_scale`` is overridden per
         instance so scaled circuits keep full-size electrical behaviour.
+    backend:
+        Execution backend the sweep fans instances over (``"serial"``,
+        ``"thread"`` or ``"process"``).  Instance results are identical
+        across backends.
+    workers:
+        Worker count of a parallel backend; ``None`` uses the CPU count.
+    use_cache:
+        Whether each instance shares one panel-solution cache across its
+        three flows (on by default; purely an execution optimisation).
     """
 
     circuits: Tuple[str, ...] = DEFAULT_CIRCUITS
@@ -54,6 +70,9 @@ class ExperimentConfig:
     scale: float = 0.03
     seed: int = 7
     gsino: GsinoConfig = field(default_factory=GsinoConfig)
+    backend: str = "serial"
+    workers: Optional[int] = None
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -62,10 +81,30 @@ class ExperimentConfig:
             raise ValueError("at least one sensitivity rate is required")
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must lie in (0, 1], got {self.scale}")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.workers is not None and self.backend == "serial":
+            raise ValueError(
+                "workers requires a parallel backend ('thread' or 'process')"
+            )
 
     def flow_config(self) -> GsinoConfig:
         """The per-instance flow configuration (length scale matched to ``scale``)."""
         return self.gsino.with_changes(length_scale=1.0 / (self.scale ** 0.5))
+
+    def instance_engine(self) -> Engine:
+        """The per-instance execution engine.
+
+        Panel solves inside an instance run serially — the sweep already
+        parallelises at instance granularity, and nesting pools would
+        oversubscribe — but the instance's three flows share one solution
+        cache unless caching is disabled.
+        """
+        return Engine(cache=SolutionCache() if self.use_cache else None)
 
 
 @dataclass
@@ -105,7 +144,9 @@ def run_circuit_comparison(
         scale=config.scale,
         seed=config.seed + seed_offset,
     )
-    flows = compare_flows(circuit.grid, circuit.netlist, config.flow_config())
+    flows = compare_flows(
+        circuit.grid, circuit.netlist, config.flow_config(), engine=config.instance_engine()
+    )
     return CircuitComparison(
         circuit=circuit,
         sensitivity_rate=sensitivity_rate,
@@ -114,15 +155,15 @@ def run_circuit_comparison(
 
 
 def run_table_suite(config: Optional[ExperimentConfig] = None) -> List[CircuitComparison]:
-    """Run the full sweep behind Tables 1–3 (every circuit at every rate)."""
+    """Run the full sweep behind Tables 1–3 (every circuit at every rate).
+
+    The (circuit, rate) grid is fanned over the configured execution backend
+    by a :class:`~repro.engine.sweep.SweepRunner`; results come back in the
+    canonical grid order regardless of the backend.
+    """
     config = config or ExperimentConfig()
-    comparisons: List[CircuitComparison] = []
-    for index, circuit_name in enumerate(config.circuits):
-        for rate in config.sensitivity_rates:
-            comparisons.append(
-                run_circuit_comparison(circuit_name, rate, config, seed_offset=index)
-            )
-    return comparisons
+    with create_backend(config.backend, config.workers) as backend:
+        return SweepRunner(backend=backend).run(config)
 
 
 # -- Table 1: crosstalk violations of ID+NO ------------------------------------------

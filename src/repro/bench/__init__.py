@@ -5,8 +5,8 @@ Neither the netlists nor the placement tool are redistributable here, so this
 sub-package generates *synthetic* circuits whose statistics match what the
 paper's tables expose about each design: number of signal nets, chip
 dimensions, average net length, and the random sensitivity assignment at a
-chosen rate.  DESIGN.md records this substitution; EXPERIMENTS.md records the
-scale factor every published number was generated at.
+chosen rate.  DESIGN.md records this substitution and the scale-factor
+methodology every published number was generated under.
 
 Modules
 -------

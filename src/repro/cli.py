@@ -29,9 +29,38 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import format_percentage
 from repro.bench.ibm import generate_circuit
+from repro.engine import BACKEND_NAMES, Engine, SolutionCache, create_backend
 from repro.gsino.config import GsinoConfig
 from repro.gsino.pipeline import compare_flows
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by the flow-running subcommands."""
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend for independent work units",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker count for parallel backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the panel-solution cache",
+    )
 
 
 def _add_tables_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -52,6 +81,7 @@ def _add_tables_parser(subparsers: argparse._SubParsersAction) -> None:
         help="sensitivity rates to evaluate",
     )
     parser.add_argument("--output", type=Path, default=None, help="write the tables to this file")
+    _add_engine_arguments(parser)
 
 
 def _add_compare_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -61,6 +91,7 @@ def _add_compare_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--scale", type=float, default=0.03, help="benchmark size scale in (0, 1]")
     parser.add_argument("--seed", type=int, default=7, help="random seed")
     parser.add_argument("--bound", type=float, default=None, help="crosstalk bound in volts")
+    _add_engine_arguments(parser)
 
 
 def _add_characterize_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -91,6 +122,9 @@ def _run_tables(args: argparse.Namespace) -> int:
         sensitivity_rates=tuple(args.rates),
         scale=args.scale,
         seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        use_cache=not args.no_cache,
     )
     start = time.perf_counter()
     comparisons = run_table_suite(config)
@@ -112,21 +146,34 @@ def _run_compare(args: argparse.Namespace) -> int:
         crosstalk_bound=args.bound,
         length_scale=1.0 / (args.scale ** 0.5),
     )
-    results = compare_flows(circuit.grid, circuit.netlist, config)
+    engine = Engine(
+        backend=create_backend(args.backend, args.workers),
+        cache=None if args.no_cache else SolutionCache(),
+    )
+    with engine:
+        results = compare_flows(circuit.grid, circuit.netlist, config, engine=engine)
     id_no = results["id_no"]
     print(
         f"{circuit.profile.name}: {circuit.netlist.num_nets} nets, "
-        f"sensitivity {format_percentage(args.rate, 0)}, bound {config.resolved_bound():.2f} V"
+        f"sensitivity {format_percentage(args.rate, 0)}, bound {config.resolved_bound():.2f} V "
+        f"[backend={engine.backend.name}, cache={'off' if engine.cache is None else 'on'}]"
     )
     for name in ("id_no", "isino", "gsino"):
-        metrics = results[name].metrics
+        result = results[name]
+        metrics = result.metrics
         area_overhead = metrics.area.overhead_vs(id_no.metrics.area)
+        cache_note = ""
+        if result.cache_stats is not None:
+            cache_note = f"  cache_hits={result.cache_stats}"
         print(
             f"  {name:6s} violations={metrics.crosstalk.num_violations:<5d} "
             f"avg_wl={metrics.average_wirelength_um:8.1f} um  "
             f"area={metrics.area.dimensions_label():>14s} ({format_percentage(area_overhead)})  "
-            f"shields={metrics.total_shields}"
+            f"shields={metrics.total_shields}  "
+            f"runtime={result.runtime_seconds:.2f}s{cache_note}"
         )
+    if engine.cache is not None:
+        print(f"  panel cache: {engine.cache_stats()} over {len(engine.cache)} entries")
     return 0
 
 
@@ -147,6 +194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    if getattr(args, "workers", None) is not None and args.backend == "serial":
+        parser.error("--workers requires a parallel backend (--backend thread|process)")
     if args.command == "tables":
         return _run_tables(args)
     if args.command == "compare":

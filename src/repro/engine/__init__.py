@@ -1,0 +1,54 @@
+"""repro.engine — pluggable parallel execution, panel-solution caching and sweeps.
+
+The GSINO flow (and both baselines) spend nearly all of their time in
+independent per-(region, direction) SINO panel solves, and the experiment
+harness spends its time in independent benchmark instances.  This layer
+turns both into dispatchable work:
+
+* :mod:`repro.engine.backends` — the :class:`ExecutionBackend` strategy
+  (``serial`` / ``thread`` / ``process``) with chunked
+  ``submit_batch`` / ``map_tasks`` dispatch;
+* :mod:`repro.engine.signature` — stable content hashes of panel instances;
+* :mod:`repro.engine.cache` — the content-addressed :class:`SolutionCache`
+  with hit/miss statistics;
+* :mod:`repro.engine.panels` — :class:`PanelTask`, the backend worker
+  function and the :class:`Engine` facade the flow drivers call;
+* :mod:`repro.engine.sweep` — :class:`SweepRunner`, fanning whole
+  experiment-grid instances over the same backends.
+
+Every backend is bit-identical to the serial reference path: tasks carry
+their own seeds, results are keyed rather than ordered, and result maps are
+assembled in sorted-key order.  See DESIGN.md §"Execution engine".
+"""
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+)
+from repro.engine.cache import CacheStats, SolutionCache
+from repro.engine.panels import Engine, PanelTask, solve_panel_task
+from repro.engine.signature import panel_signature, problem_token
+from repro.engine.sweep import FlowAggregate, SweepPoint, SweepRunner
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "CacheStats",
+    "SolutionCache",
+    "Engine",
+    "PanelTask",
+    "solve_panel_task",
+    "panel_signature",
+    "problem_token",
+    "FlowAggregate",
+    "SweepPoint",
+    "SweepRunner",
+]

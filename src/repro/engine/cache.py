@@ -1,0 +1,132 @@
+"""Content-addressed cache of SINO panel solutions.
+
+Identical panel instances recur constantly in this system: ID+NO and iSINO
+share one baseline routing (same panels, different solver), Phase III
+re-solves Phase II panels under mutated bounds and then *reverts* rejected
+candidates, sweeps re-run overlapping instances, and GSINO's reserved routing
+frequently reproduces baseline panels wherever congestion did not force a
+detour.  The cache keys solutions by the content signature of
+(:mod:`repro.engine.signature`) so each distinct instance is solved exactly
+once per process.
+
+Only the track *layout* is stored — not the solution object.  On a hit the
+layout is re-bound to the caller's own :class:`SinoProblem`, which keeps the
+cache small, prevents flows from aliasing each other's mutable solution
+objects, and re-validates the layout against the requesting problem.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sino.panel import SinoProblem, SinoSolution
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`SolutionCache`.
+
+    Snapshots subtract (``after - before``) so callers can attribute cache
+    traffic to one flow or phase even when the cache is shared.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.hits}/{self.lookups} ({self.hit_rate:.0%})"
+
+
+class SolutionCache:
+    """Thread-safe LRU mapping from panel signatures to solved layouts.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional capacity; the least recently used layout is evicted when it
+        is exceeded.  ``None`` (the default) never evicts — panel layouts are
+        tiny (a tuple of ints per panel), so an unbounded cache is fine for
+        every workload short of an unattended sweep service.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._layouts: "OrderedDict[str, Tuple[Optional[int], ...]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._layouts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._layouts
+
+    def get(self, key: str, problem: SinoProblem) -> Optional[SinoSolution]:
+        """The cached solution for ``key`` re-bound to ``problem``, or None.
+
+        The lookup counts towards the hit/miss statistics.
+        """
+        with self._lock:
+            layout = self._layouts.get(key)
+            if layout is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._layouts.move_to_end(key)
+        return SinoSolution(problem=problem, layout=list(layout))
+
+    def put(self, key: str, solution: SinoSolution) -> None:
+        """Store a solved layout under its signature."""
+        layout = tuple(solution.layout)
+        with self._lock:
+            self._layouts[key] = layout
+            self._layouts.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._layouts) > self.max_entries:
+                    self._layouts.popitem(last=False)
+                    self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, evictions=self._evictions
+            )
+
+    def clear(self) -> None:
+        """Drop every cached layout (counters are kept)."""
+        with self._lock:
+            self._layouts.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SolutionCache(entries={len(self._layouts)}, "
+            f"stats={self.stats()})"
+        )

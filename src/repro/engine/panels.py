@@ -1,0 +1,219 @@
+"""Panel-solve execution: tasks, the worker function and the engine facade.
+
+This is the layer the flow drivers talk to.  A :class:`PanelTask` is one
+self-contained (panel problem, solver, effort, seed) work unit;
+:func:`solve_panel_task` is the module-level worker every backend runs
+(module-level so process pools can pickle it); and :class:`Engine` bundles an
+:class:`~repro.engine.backends.ExecutionBackend` with an optional
+:class:`~repro.engine.cache.SolutionCache` behind two calls:
+
+* :meth:`Engine.solve_panels` — batch path used by Phase II: cache lookups,
+  fan-out of the misses over the backend, cache fills, and assembly of the
+  result map in sorted-key order (so downstream iteration order never
+  depends on the backend).
+* :meth:`Engine.solve_panel` — single-solve path used by Phase III's
+  refinement loop, which is inherently sequential but still benefits from
+  the shared cache (rejected candidates are reverted and often re-requested;
+  repeated sweeps re-solve the same refinement sequence).
+
+Determinism contract: for a fixed instance and configuration, every backend
+produces bit-identical solutions.  This holds because each task is solved
+independently from its own problem and an explicit per-task seed (the
+stochastic ``anneal`` effort derives nothing from global RNG state), and
+because results are keyed, not ordered, on the way back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.engine.backends import ExecutionBackend, SerialBackend
+from repro.engine.cache import CacheStats, SolutionCache
+from repro.engine.signature import panel_signature
+from repro.sino.anneal import AnnealConfig, solve_min_area_sino
+from repro.sino.net_ordering import net_ordering_only
+from repro.sino.panel import SinoProblem, SinoSolution
+
+#: (region coordinate, direction) — matches :data:`repro.gsino.metrics.PanelKey`,
+#: restated here so the engine layer does not import the flow layer.
+PanelKey = Tuple[Tuple[int, int], str]
+
+#: Solvers a panel task can request.
+PANEL_SOLVERS: Tuple[str, ...] = ("sino", "ordering")
+
+
+@dataclass(frozen=True)
+class PanelTask:
+    """One panel solve, fully described (picklable for process backends).
+
+    Attributes
+    ----------
+    key:
+        The (region coordinate, direction) the solution belongs to.
+    problem:
+        The SINO instance to solve.
+    solver:
+        ``"sino"`` (shield insertion + net ordering) or ``"ordering"``.
+    effort:
+        ``"greedy"`` or ``"anneal"``; forwarded to the SINO solver.
+    seed:
+        Per-task seed of the stochastic ``anneal`` effort.  ``None`` keeps
+        the schedule's own seed (the serial reference behaviour).
+    anneal:
+        Annealing schedule override for the ``anneal`` effort; ``None``
+        uses the solver's default schedule.
+    """
+
+    key: PanelKey
+    problem: SinoProblem
+    solver: str = "sino"
+    effort: str = "greedy"
+    seed: Optional[int] = None
+    anneal: Optional[AnnealConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in PANEL_SOLVERS:
+            raise ValueError(
+                f"unknown panel solver {self.solver!r} (expected one of {PANEL_SOLVERS})"
+            )
+
+    def signature(self) -> str:
+        """Content signature of this task (the cache key)."""
+        return panel_signature(
+            self.problem, self.solver, self.effort, self.seed, self.anneal
+        )
+
+
+def solve_panel_task(task: PanelTask) -> Tuple[PanelKey, SinoSolution]:
+    """Solve one panel task; the worker function every backend executes."""
+    if task.solver == "ordering":
+        solution = net_ordering_only(task.problem)
+    else:
+        config = task.anneal
+        if task.seed is not None:
+            config = replace(config or AnnealConfig(), seed=task.seed)
+        solution = solve_min_area_sino(task.problem, effort=task.effort, config=config)
+    return task.key, solution
+
+
+class Engine:
+    """Execution backend + solution cache behind one facade.
+
+    One engine is meant to be shared across everything that should pool
+    work and results: :func:`repro.gsino.pipeline.compare_flows` threads a
+    single engine through all three flows so ID+NO, iSINO and GSINO solve
+    each distinct panel instance exactly once between them.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[SolutionCache] = None,
+    ) -> None:
+        self.backend = backend or SerialBackend()
+        self.cache = cache
+
+    # -- cache statistics ---------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Current cache counters (all zero when caching is disabled)."""
+        if self.cache is None:
+            return CacheStats()
+        return self.cache.stats()
+
+    # -- solving ------------------------------------------------------------------
+
+    def solve_panel(
+        self,
+        problem: SinoProblem,
+        solver: str = "sino",
+        effort: str = "greedy",
+        seed: Optional[int] = None,
+        anneal: Optional[AnnealConfig] = None,
+        key: PanelKey = ((0, 0), "single"),
+    ) -> SinoSolution:
+        """Solve one panel inline, through the cache when one is attached."""
+        task = PanelTask(
+            key=key, problem=problem, solver=solver, effort=effort, seed=seed, anneal=anneal
+        )
+        if self.cache is None:
+            return solve_panel_task(task)[1]
+        signature = task.signature()
+        cached = self.cache.get(signature, problem)
+        if cached is not None:
+            return cached
+        solution = solve_panel_task(task)[1]
+        self.cache.put(signature, solution)
+        return solution
+
+    def solve_panels(
+        self,
+        problems: Mapping[PanelKey, SinoProblem],
+        solver: str = "sino",
+        effort: str = "greedy",
+        seed: Optional[int] = None,
+        anneal: Optional[AnnealConfig] = None,
+    ) -> Dict[PanelKey, SinoSolution]:
+        """Solve a batch of panels, fanning cache misses over the backend.
+
+        The returned dict is populated in sorted-key order regardless of the
+        backend, so callers that iterate insertion order stay deterministic.
+        Panels that are content-identical within the batch (the same net set
+        recurring in several regions) are solved once and the layout shared.
+        """
+        ordered_keys = sorted(problems)
+        solutions: Dict[PanelKey, SinoSolution] = {}
+        pending_signature: Dict[PanelKey, str] = {}
+        unique_tasks: Dict[str, PanelTask] = {}
+
+        for panel_key in ordered_keys:
+            problem = problems[panel_key]
+            task = PanelTask(
+                key=panel_key,
+                problem=problem,
+                solver=solver,
+                effort=effort,
+                seed=seed,
+                anneal=anneal,
+            )
+            signature = task.signature()
+            if self.cache is not None:
+                cached = self.cache.get(signature, problem)
+                if cached is not None:
+                    solutions[panel_key] = cached
+                    continue
+            pending_signature[panel_key] = signature
+            unique_tasks.setdefault(signature, task)
+
+        solved = self.backend.map_tasks(solve_panel_task, list(unique_tasks.values()))
+        by_signature = dict(
+            zip(unique_tasks.keys(), (solution for _key, solution in solved))
+        )
+        if self.cache is not None:
+            for signature, solution in by_signature.items():
+                self.cache.put(signature, solution)
+        for panel_key, signature in pending_signature.items():
+            template = by_signature[signature]
+            solutions[panel_key] = SinoSolution(
+                problem=problems[panel_key], layout=list(template.layout)
+            )
+
+        # Assemble in sorted order so dict insertion order is reproducible.
+        return {panel_key: solutions[panel_key] for panel_key in ordered_keys}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release the backend's pooled workers (idempotent)."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        cache = "off" if self.cache is None else repr(self.cache)
+        return f"Engine(backend={self.backend!r}, cache={cache})"

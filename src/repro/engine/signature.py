@@ -1,0 +1,119 @@
+"""Content-addressed signatures for SINO panel instances.
+
+The solution cache (:mod:`repro.engine.cache`) must recognise that two panel
+solves — possibly issued by different flows, phases or sweep repetitions —
+are the *same* problem.  Object identity is useless for that (every flow
+rebuilds its own :class:`~repro.sino.panel.SinoProblem` instances), so the
+cache keys on a stable content hash instead.
+
+A signature covers everything that can influence the solution:
+
+* the ordered segment (net) ids of the panel,
+* the symmetric sensitivity relation restricted to those segments,
+* every segment's ``Kth`` bound (hex-encoded floats, so the key is exact —
+  no formatting round-off can alias two different bounds),
+* the default bound and the track capacity,
+* the Keff model parameters,
+* the solver (``"sino"`` / ``"ordering"``), the effort level and the
+  per-task seed.
+
+Phase III mutates bounds via :meth:`SinoProblem.with_bounds`; because the
+bounds are part of the signature, a tightened or relaxed panel can never hit
+a stale cached solution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.sino.anneal import AnnealConfig
+from repro.sino.panel import SinoProblem
+
+#: Signature scheme version; bump when the token layout changes so persisted
+#: caches (if any) cannot return solutions hashed under an older scheme.
+SIGNATURE_VERSION = 1
+
+
+def _float_token(value: float) -> str:
+    """Exact, repr-stable encoding of a float."""
+    return float(value).hex()
+
+
+def problem_token(problem: SinoProblem) -> str:
+    """Canonical string form of one SINO problem (before hashing).
+
+    Exposed separately from :func:`panel_signature` so tests can assert on
+    the canonicalisation (pair symmetry, bound encoding) directly.
+    """
+    segments = ",".join(str(segment) for segment in problem.segments)
+    pairs = sorted(
+        {
+            (min(segment, other), max(segment, other))
+            for segment, others in problem.sensitivity.items()
+            for other in others
+        }
+    )
+    sensitivity = ";".join(f"{a}-{b}" for a, b in pairs)
+    bounds = ";".join(
+        f"{segment}:{_float_token(problem.bound_of(segment))}"
+        for segment in sorted(problem.segments)
+    )
+    model = problem.keff_model
+    keff = ",".join(
+        _float_token(value)
+        for value in (
+            model.shield_attenuation,
+            model.adjacent_shield_bonus,
+            model.distance_exponent,
+        )
+    )
+    return "|".join(
+        (
+            f"v{SIGNATURE_VERSION}",
+            f"segments={segments}",
+            f"sensitivity={sensitivity}",
+            f"kth={bounds}",
+            f"default_kth={_float_token(problem.default_kth)}",
+            f"capacity={problem.capacity}",
+            f"keff={keff}",
+        )
+    )
+
+
+def _anneal_token(anneal: Optional[AnnealConfig]) -> str:
+    """Canonical encoding of an annealing schedule (``-`` for the default)."""
+    if anneal is None:
+        return "-"
+    return ",".join(
+        (
+            str(anneal.iterations),
+            _float_token(anneal.initial_temperature),
+            _float_token(anneal.final_temperature),
+            _float_token(anneal.capacitive_weight),
+            _float_token(anneal.inductive_weight),
+            _float_token(anneal.shield_weight),
+            _float_token(anneal.overflow_weight),
+            str(anneal.seed),
+        )
+    )
+
+
+def panel_signature(
+    problem: SinoProblem,
+    solver: str,
+    effort: str,
+    seed: Optional[int] = None,
+    anneal: Optional[AnnealConfig] = None,
+) -> str:
+    """Stable hex digest identifying one (problem, solver, effort, seed) solve."""
+    token = "|".join(
+        (
+            problem_token(problem),
+            f"solver={solver}",
+            f"effort={effort}",
+            f"seed={'-' if seed is None else seed}",
+            f"anneal={_anneal_token(anneal)}",
+        )
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from repro.engine.panels import Engine
 from repro.grid.nets import Netlist
 from repro.grid.regions import RoutingGrid
 from repro.gsino.budgeting import NetBudget, compute_budgets
@@ -39,9 +40,16 @@ def run_baseline_flows(
     netlist: Netlist,
     config: Optional[GsinoConfig] = None,
     budgets: Optional[Dict[int, NetBudget]] = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, FlowResult]:
-    """Run ID+NO and iSINO sharing a single conventional routing run."""
+    """Run ID+NO and iSINO sharing a single conventional routing run.
+
+    Both flows dispatch their per-region solves through ``engine`` (serial,
+    uncached when ``None``); each records its own wall-clock runtime and its
+    share of the cache traffic.
+    """
     config = config or GsinoConfig()
+    engine = engine or Engine()
     if budgets is None:
         budgets = compute_budgets(netlist, config)
 
@@ -52,7 +60,8 @@ def run_baseline_flows(
     results: Dict[str, FlowResult] = {}
 
     start = time.perf_counter()
-    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering")
+    stats_before = engine.cache_stats()
+    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering", engine=engine)
     metrics, congestion = compute_flow_metrics(routing, ordering.panels, config)
     results["id_no"] = FlowResult(
         name="id_no",
@@ -63,10 +72,12 @@ def run_baseline_flows(
         congestion=congestion,
         router_report=router_report,
         runtime_seconds=routing_time + (time.perf_counter() - start),
+        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
     )
 
     start = time.perf_counter()
-    sino = run_phase2(routing, netlist, budgets, config, solver="sino")
+    stats_before = engine.cache_stats()
+    sino = run_phase2(routing, netlist, budgets, config, solver="sino", engine=engine)
     metrics, congestion = compute_flow_metrics(routing, sino.panels, config)
     results["isino"] = FlowResult(
         name="isino",
@@ -77,6 +88,7 @@ def run_baseline_flows(
         congestion=congestion,
         router_report=router_report,
         runtime_seconds=routing_time + (time.perf_counter() - start),
+        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
     )
     return results
 
@@ -85,13 +97,16 @@ def run_id_no(
     grid: RoutingGrid,
     netlist: Netlist,
     config: Optional[GsinoConfig] = None,
+    engine: Optional[Engine] = None,
 ) -> FlowResult:
     """Run only the ID+NO baseline."""
     config = config or GsinoConfig()
+    engine = engine or Engine()
     budgets = compute_budgets(netlist, config)
     start = time.perf_counter()
+    stats_before = engine.cache_stats()
     routing, router_report = _route_baseline(grid, netlist, config)
-    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering")
+    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering", engine=engine)
     metrics, congestion = compute_flow_metrics(routing, ordering.panels, config)
     return FlowResult(
         name="id_no",
@@ -102,6 +117,7 @@ def run_id_no(
         congestion=congestion,
         router_report=router_report,
         runtime_seconds=time.perf_counter() - start,
+        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
     )
 
 
@@ -109,13 +125,16 @@ def run_isino(
     grid: RoutingGrid,
     netlist: Netlist,
     config: Optional[GsinoConfig] = None,
+    engine: Optional[Engine] = None,
 ) -> FlowResult:
     """Run only the iSINO baseline."""
     config = config or GsinoConfig()
+    engine = engine or Engine()
     budgets = compute_budgets(netlist, config)
     start = time.perf_counter()
+    stats_before = engine.cache_stats()
     routing, router_report = _route_baseline(grid, netlist, config)
-    sino = run_phase2(routing, netlist, budgets, config, solver="sino")
+    sino = run_phase2(routing, netlist, budgets, config, solver="sino", engine=engine)
     metrics, congestion = compute_flow_metrics(routing, sino.panels, config)
     return FlowResult(
         name="isino",
@@ -126,4 +145,5 @@ def run_isino(
         congestion=congestion,
         router_report=router_report,
         runtime_seconds=time.perf_counter() - start,
+        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
     )

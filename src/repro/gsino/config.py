@@ -9,6 +9,7 @@ from repro.noise.keff import DEFAULT_KEFF_MODEL, KeffModel
 from repro.noise.lsk import LskModel, LskTable, linear_reference_table
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
 from repro.router.weights import WeightConfig
+from repro.sino.anneal import AnnealConfig
 from repro.sino.estimate import ShieldEstimator, default_shield_estimator
 from repro.tech.itrs import ITRS_100NM, Technology
 
@@ -47,6 +48,10 @@ class GsinoConfig:
     sino_effort:
         ``"greedy"`` or ``"anneal"`` — effort level of every per-region SINO
         solve.
+    anneal:
+        Annealing schedule used when ``sino_effort`` is ``"anneal"``;
+        ``None`` uses the solver's default schedule.  Part of the panel
+        cache key, so changing the schedule never reuses stale solutions.
     gsino_weights / baseline_weights:
         Formula 2 configurations for the GSINO router (shield reservation on)
         and the baseline router (reservation off), respectively.
@@ -72,6 +77,7 @@ class GsinoConfig:
     table_samples: int = 120
     length_scale: float = 1.0
     sino_effort: str = "greedy"
+    anneal: Optional[AnnealConfig] = None
     gsino_weights: WeightConfig = field(default_factory=lambda: WeightConfig(reserve_shields=True))
     baseline_weights: WeightConfig = field(default_factory=lambda: WeightConfig(reserve_shields=False))
     shield_estimator: Optional[ShieldEstimator] = None

@@ -17,14 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.engine.panels import Engine
 from repro.grid.congestion import CongestionMap
 from repro.grid.nets import Netlist
 from repro.grid.routes import RoutingSolution
 from repro.gsino.budgeting import NetBudget, bounds_for_nets
 from repro.gsino.config import GsinoConfig
 from repro.gsino.metrics import PanelKey
-from repro.sino.anneal import solve_min_area_sino
-from repro.sino.net_ordering import net_ordering_only
 from repro.sino.panel import SinoProblem, SinoSolution
 
 
@@ -39,6 +38,9 @@ class Phase2Result:
     problems:
         The SINO problem instance of each panel (Phase III re-solves them
         under modified bounds).
+
+    Both mappings are populated in sorted panel-key order regardless of the
+    execution backend, so repeated runs diff cleanly.
     """
 
     panels: Dict[PanelKey, SinoSolution] = field(default_factory=dict)
@@ -75,12 +77,35 @@ def build_panel_problem(
     )
 
 
+def build_panel_problems(
+    routing: RoutingSolution,
+    netlist: Netlist,
+    budgets: Mapping[int, NetBudget],
+    config: GsinoConfig,
+) -> Dict[PanelKey, SinoProblem]:
+    """Construct the SINO instance of every occupied panel of a routing."""
+    congestion = CongestionMap.from_solution(routing)
+    problems: Dict[PanelKey, SinoProblem] = {}
+    for coord, direction, usage in congestion.entries():
+        if not usage.nets:
+            continue
+        problems[(coord, direction)] = build_panel_problem(
+            usage.nets,
+            netlist,
+            budgets,
+            capacity=usage.capacity,
+            config=config,
+        )
+    return problems
+
+
 def run_phase2(
     routing: RoutingSolution,
     netlist: Netlist,
     budgets: Mapping[int, NetBudget],
     config: GsinoConfig,
     solver: str = "sino",
+    engine: Optional[Engine] = None,
 ) -> Phase2Result:
     """Solve every panel of a routing solution.
 
@@ -97,26 +122,20 @@ def run_phase2(
     solver:
         ``"sino"`` for simultaneous shield insertion and net ordering,
         ``"ordering"`` for net ordering only (the ID+NO baseline).
+    engine:
+        Execution engine the panel solves are dispatched through; ``None``
+        solves serially without caching.  Panel keys are processed in sorted
+        order and results are bit-identical across backends.
     """
     if solver not in ("sino", "ordering"):
         raise ValueError(f"unknown panel solver {solver!r} (expected 'sino' or 'ordering')")
-    congestion = CongestionMap.from_solution(routing)
+    engine = engine or Engine()
+    problems = build_panel_problems(routing, netlist, budgets, config)
+    solutions = engine.solve_panels(
+        problems, solver=solver, effort=config.sino_effort, anneal=config.anneal
+    )
     result = Phase2Result()
-    for coord, direction, usage in congestion.entries():
-        if not usage.nets:
-            continue
-        problem = build_panel_problem(
-            usage.nets,
-            netlist,
-            budgets,
-            capacity=usage.capacity,
-            config=config,
-        )
-        if solver == "ordering":
-            solution = net_ordering_only(problem)
-        else:
-            solution = solve_min_area_sino(problem, effort=config.sino_effort)
-        key: PanelKey = (coord, direction)
-        result.problems[key] = problem
-        result.panels[key] = solution
+    for key in sorted(problems):
+        result.problems[key] = problems[key]
+        result.panels[key] = solutions[key]
     return result

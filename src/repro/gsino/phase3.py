@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.engine.panels import Engine
 from repro.grid.nets import Netlist
 from repro.grid.regions import RoutingGrid
 from repro.grid.routes import RoutingSolution
@@ -36,7 +37,6 @@ from repro.gsino.config import UM_TO_M, GsinoConfig
 from repro.gsino.metrics import PanelKey, net_lsk_value
 from repro.gsino.phase2 import Phase2Result
 from repro.noise.lsk import LskModel
-from repro.sino.anneal import solve_min_area_sino
 from repro.sino.panel import SinoSolution
 
 
@@ -84,6 +84,7 @@ class LocalRefiner:
         netlist: Netlist,
         config: GsinoConfig,
         lsk_model: Optional[LskModel] = None,
+        engine: Optional[Engine] = None,
     ) -> None:
         self.routing = routing
         self.panels = phase2.panels
@@ -91,6 +92,11 @@ class LocalRefiner:
         self.budgets = budgets
         self.netlist = netlist
         self.config = config
+        # The refinement loop is inherently sequential (each re-solve depends
+        # on the previous accept/reject), so only the engine's cache is used,
+        # never its parallel backend.  Mutated bounds change the cache key,
+        # so tightened/relaxed panels can never receive a stale hit.
+        self.engine = engine or Engine()
         self.lsk_model = lsk_model or config.lsk_model()
         self.bound = config.resolved_bound()
         self.grid: RoutingGrid = routing.grid
@@ -193,7 +199,13 @@ class LocalRefiner:
                     1e-6,
                 )
                 self.problems[key] = problem.with_bounds({net_id: new_bound})
-                solution = solve_min_area_sino(self.problems[key], effort=self.config.sino_effort)
+                solution = self.engine.solve_panel(
+                    self.problems[key],
+                    solver="sino",
+                    effort=self.config.sino_effort,
+                    anneal=self.config.anneal,
+                    key=key,
+                )
                 self.replace_panel(key, solution)
                 touched_keys.add(key)
                 report.pass1_sino_reruns += 1
@@ -261,7 +273,13 @@ class LocalRefiner:
             old_solution = self.panels[key]
             old_couplings = self._couplings[key]
             candidate_problem = problem.with_bounds(relaxed)
-            candidate_solution = solve_min_area_sino(candidate_problem, effort=self.config.sino_effort)
+            candidate_solution = self.engine.solve_panel(
+                candidate_problem,
+                solver="sino",
+                effort=self.config.sino_effort,
+                anneal=self.config.anneal,
+                key=key,
+            )
             if candidate_solution.num_shields >= old_solution.num_shields:
                 continue
 
@@ -287,9 +305,12 @@ def run_phase3(
     netlist: Netlist,
     config: GsinoConfig,
     lsk_model: Optional[LskModel] = None,
+    engine: Optional[Engine] = None,
 ) -> Phase3Report:
     """Run both local-refinement passes in place on ``phase2``'s panels."""
-    refiner = LocalRefiner(routing, phase2, budgets, netlist, config, lsk_model=lsk_model)
+    refiner = LocalRefiner(
+        routing, phase2, budgets, netlist, config, lsk_model=lsk_model, engine=engine
+    )
     report = Phase3Report()
     report.shields_before = refiner.total_shields()
     refiner.run_pass1(report)

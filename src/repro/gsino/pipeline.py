@@ -6,6 +6,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from repro.engine.cache import CacheStats, SolutionCache
+from repro.engine.panels import Engine
 from repro.grid.congestion import CongestionMap
 from repro.grid.nets import Netlist
 from repro.grid.regions import RoutingGrid
@@ -45,6 +47,9 @@ class FlowResult:
         Present only for the GSINO flow.
     runtime_seconds:
         Wall-clock time of the flow.
+    cache_stats:
+        Solution-cache traffic attributed to this flow (hits/misses while it
+        ran); ``None`` when the flow ran without a cache.
     """
 
     name: str
@@ -56,6 +61,7 @@ class FlowResult:
     router_report: RouterReport
     phase3_report: Optional[Phase3Report] = None
     runtime_seconds: float = 0.0
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def num_violations(self) -> int:
@@ -78,16 +84,25 @@ def run_gsino(
     netlist: Netlist,
     config: Optional[GsinoConfig] = None,
     budgets: Optional[Dict[int, NetBudget]] = None,
+    engine: Optional[Engine] = None,
 ) -> FlowResult:
-    """Run the complete three-phase GSINO flow on one routing instance."""
+    """Run the complete three-phase GSINO flow on one routing instance.
+
+    ``engine`` supplies the execution backend and (optionally shared)
+    solution cache for the per-panel SINO solves of Phases II and III;
+    ``None`` solves serially without caching.  Results are bit-identical
+    for every engine configuration.
+    """
     config = config or GsinoConfig()
+    engine = engine or Engine()
     start = time.perf_counter()
+    stats_before = engine.cache_stats()
 
     if budgets is None:
         budgets = compute_budgets(netlist, config)
     phase1 = run_phase1(grid, netlist, config, budgets=budgets)
-    phase2 = run_phase2(phase1.routing, netlist, budgets, config, solver="sino")
-    phase3_report = run_phase3(phase1.routing, phase2, budgets, netlist, config)
+    phase2 = run_phase2(phase1.routing, netlist, budgets, config, solver="sino", engine=engine)
+    phase3_report = run_phase3(phase1.routing, phase2, budgets, netlist, config, engine=engine)
     metrics, congestion = compute_flow_metrics(phase1.routing, phase2.panels, config)
 
     return FlowResult(
@@ -100,6 +115,7 @@ def run_gsino(
         router_report=phase1.router_report,
         phase3_report=phase3_report,
         runtime_seconds=time.perf_counter() - start,
+        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
     )
 
 
@@ -107,17 +123,23 @@ def compare_flows(
     grid: RoutingGrid,
     netlist: Netlist,
     config: Optional[GsinoConfig] = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, FlowResult]:
     """Run ID+NO, iSINO and GSINO on the same instance and configuration.
 
     The two baselines share one baseline routing run (they differ only in the
-    per-region step), exactly as in the paper's experimental setup.
+    per-region step), exactly as in the paper's experimental setup.  All
+    three flows share one execution engine — and therefore one solution
+    cache — so a panel instance that recurs across flows is solved once.
+    When no engine is supplied a serial engine with a fresh cache is created
+    for the comparison.
     """
     # Imported here to avoid a circular import (baselines uses FlowResult).
     from repro.gsino.baselines import run_baseline_flows
 
     config = config or GsinoConfig()
+    engine = engine or Engine(cache=SolutionCache())
     budgets = compute_budgets(netlist, config)
-    results = run_baseline_flows(grid, netlist, config, budgets=budgets)
-    results["gsino"] = run_gsino(grid, netlist, config, budgets=budgets)
+    results = run_baseline_flows(grid, netlist, config, budgets=budgets, engine=engine)
+    results["gsino"] = run_gsino(grid, netlist, config, budgets=budgets, engine=engine)
     return results

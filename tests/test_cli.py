@@ -26,6 +26,23 @@ class TestParser:
         )
         assert args.circuit == "ibm04"
         assert args.rate == pytest.approx(0.5)
+        assert args.backend == "serial"
+        assert args.workers is None
+        assert args.no_cache is False
+
+    def test_engine_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "--backend", "thread", "--workers", "2", "--no-cache"]
+        )
+        assert args.backend == "thread"
+        assert args.workers == 2
+        assert args.no_cache is True
+        args = build_parser().parse_args(["tables", "--backend", "process"])
+        assert args.backend == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--backend", "gpu"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workers", "0"])
 
     def test_characterize_arguments(self, tmp_path):
         args = build_parser().parse_args(
@@ -43,6 +60,24 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "gsino" in output
         assert "violations=" in output
+        # Per-flow runtime and cache hit-rate are surfaced.
+        assert "runtime=" in output
+        assert "cache_hits=" in output
+        assert "panel cache:" in output
+
+    def test_compare_command_with_thread_backend_and_no_cache(self, capsys):
+        exit_code = main(
+            [
+                "compare", "--circuit", "ibm01", "--rate", "0.3",
+                "--scale", "0.01", "--seed", "3",
+                "--backend", "thread", "--workers", "2", "--no-cache",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "backend=thread" in output
+        assert "cache=off" in output
+        assert "cache_hits=" not in output
 
     def test_tables_command_writes_output_file(self, tmp_path, capsys):
         output = tmp_path / "tables.txt"
