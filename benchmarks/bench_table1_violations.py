@@ -16,7 +16,7 @@ from repro.analysis.report import format_percentage
 from repro.bench.ibm import generate_circuit
 from repro.gsino.baselines import run_id_no
 
-from conftest import BENCH_SCALE, BENCH_SEED, make_experiment_config
+from conftest import BENCH_SCALE, BENCH_SEED
 
 CIRCUITS = ("ibm01", "ibm02", "ibm03", "ibm04", "ibm05", "ibm06")
 

@@ -4,16 +4,22 @@ Every benchmark runs a scaled-down instance of the paper's experimental
 setup; the scale is chosen so the whole harness finishes in a few minutes of
 CPU while preserving the per-region statistics (see DESIGN.md, "Scaled-
 instance methodology").
+
+The ``REPRO_BENCH_SCALE`` environment variable overrides the default scale,
+which is how the CI bench-smoke job runs the harness at reduced size while
+still emitting comparable ``--benchmark-json`` artifacts.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.analysis.experiments import ExperimentConfig
 
 #: Benchmark-suite scale relative to the full ISPD'98/IBM designs.
-BENCH_SCALE = 0.025
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.025"))
 
 #: Base random seed of the benchmark instances.
 BENCH_SEED = 7

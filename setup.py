@@ -38,11 +38,18 @@ setup(
     packages=find_packages(where="src"),
     install_requires=[
         "numpy",
+        "scipy",
+        "networkx",
     ],
     extras_require={
         "test": [
             "pytest",
             "pytest-benchmark",
+            "pytest-cov",
+            "hypothesis",
+        ],
+        "dev": [
+            "ruff",
         ],
     },
     entry_points={

@@ -19,8 +19,8 @@ for every backend — the experiments stay reproducible from the seed alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_percentage, format_table
 from repro.bench.ibm import GeneratedCircuit, generate_circuit
@@ -30,6 +30,7 @@ from repro.engine.panels import Engine
 from repro.engine.sweep import SweepRunner
 from repro.gsino.config import GsinoConfig
 from repro.gsino.pipeline import FlowResult, compare_flows
+from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 
 #: The benchmark circuits and sensitivity rates the paper's tables cover.
 DEFAULT_CIRCUITS: Tuple[str, ...] = ("ibm01", "ibm02", "ibm03", "ibm04", "ibm05", "ibm06")
@@ -63,6 +64,13 @@ class ExperimentConfig:
     use_cache:
         Whether each instance shares one panel-solution cache across its
         three flows (on by default; purely an execution optimisation).
+    sino_effort:
+        Per-region SINO effort level — one of
+        :data:`repro.sino.anneal.EFFORT_LEVELS`; overrides the template's
+        ``sino_effort``.
+    chains:
+        Independent annealing chains per panel for the annealing effort
+        levels (1 = single-chain search, the historic behaviour).
     """
 
     circuits: Tuple[str, ...] = DEFAULT_CIRCUITS
@@ -73,6 +81,8 @@ class ExperimentConfig:
     backend: str = "serial"
     workers: Optional[int] = None
     use_cache: bool = True
+    sino_effort: str = "greedy"
+    chains: int = 1
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -91,10 +101,29 @@ class ExperimentConfig:
             raise ValueError(
                 "workers requires a parallel backend ('thread' or 'process')"
             )
+        if self.sino_effort not in EFFORT_LEVELS:
+            raise ValueError(
+                f"sino_effort must be one of {EFFORT_LEVELS}, got {self.sino_effort!r}"
+            )
+        if self.chains < 1:
+            raise ValueError(f"chains must be >= 1, got {self.chains}")
 
     def flow_config(self) -> GsinoConfig:
-        """The per-instance flow configuration (length scale matched to ``scale``)."""
-        return self.gsino.with_changes(length_scale=1.0 / (self.scale ** 0.5))
+        """The per-instance flow configuration.
+
+        The length scale is matched to ``scale``, and the SINO effort level
+        and chain count are folded into the GSINO configuration (the chain
+        count lives on the annealing schedule so it reaches the panel cache
+        key).
+        """
+        changes: dict = {
+            "length_scale": 1.0 / (self.scale ** 0.5),
+            "sino_effort": self.sino_effort,
+        }
+        if self.chains != 1:
+            schedule = self.gsino.anneal or AnnealConfig()
+            changes["anneal"] = replace(schedule, chains=self.chains)
+        return self.gsino.with_changes(**changes)
 
     def instance_engine(self) -> Engine:
         """The per-instance execution engine.

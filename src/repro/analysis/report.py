@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 def format_percentage(value: float, decimals: int = 2) -> str:

@@ -13,7 +13,7 @@ violating nets at a 14.60 % rate, giving ~13 062 signal nets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ paper to build the LSK lookup table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve

@@ -11,6 +11,14 @@ Three subcommands cover the common workflows::
 each table, and ``characterize`` builds the LSK lookup table from the circuit
 simulator and optionally writes it to a JSON file that ``GsinoConfig`` can
 load back.
+
+The flow-running subcommands share the engine flags (``--backend``,
+``--workers``, ``--no-cache``) and the solver flags: ``--effort`` picks the
+per-region SINO effort level (``greedy``, ``anneal``, ``anneal-fast`` or
+``portfolio``) and ``--chains N`` runs N independent annealing chains per
+panel, keeping the best feasible layout::
+
+    python -m repro.cli compare --circuit ibm02 --effort anneal --chains 4
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.experiments import (
     DEFAULT_CIRCUITS,
@@ -33,6 +41,7 @@ from repro.engine import BACKEND_NAMES, Engine, SolutionCache, create_backend
 from repro.gsino.config import GsinoConfig
 from repro.gsino.pipeline import compare_flows
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 
 
 def _positive_int(text: str) -> int:
@@ -60,6 +69,18 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the panel-solution cache",
+    )
+    parser.add_argument(
+        "--effort",
+        choices=list(EFFORT_LEVELS),
+        default="greedy",
+        help="per-region SINO effort level",
+    )
+    parser.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=1,
+        help="independent annealing chains per panel (annealing efforts only)",
     )
 
 
@@ -125,6 +146,8 @@ def _run_tables(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         use_cache=not args.no_cache,
+        sino_effort=args.effort,
+        chains=args.chains,
     )
     start = time.perf_counter()
     comparisons = run_table_suite(config)
@@ -145,6 +168,8 @@ def _run_compare(args: argparse.Namespace) -> int:
     config = GsinoConfig(
         crosstalk_bound=args.bound,
         length_scale=1.0 / (args.scale ** 0.5),
+        sino_effort=args.effort,
+        anneal=AnnealConfig(chains=args.chains) if args.chains > 1 else None,
     )
     engine = Engine(
         backend=create_backend(args.backend, args.workers),

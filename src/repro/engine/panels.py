@@ -31,7 +31,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.cache import CacheStats, SolutionCache
 from repro.engine.signature import panel_signature
-from repro.sino.anneal import AnnealConfig, solve_min_area_sino
+from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig, solve_min_area_sino
 from repro.sino.net_ordering import net_ordering_only
 from repro.sino.panel import SinoProblem, SinoSolution
 
@@ -56,13 +56,18 @@ class PanelTask:
     solver:
         ``"sino"`` (shield insertion + net ordering) or ``"ordering"``.
     effort:
-        ``"greedy"`` or ``"anneal"``; forwarded to the SINO solver.
+        One of :data:`repro.sino.anneal.EFFORT_LEVELS` (``"greedy"``,
+        ``"anneal"``, ``"anneal-fast"`` or ``"portfolio"``); forwarded to the
+        SINO solver.
     seed:
-        Per-task seed of the stochastic ``anneal`` effort.  ``None`` keeps
+        Per-task seed of the stochastic annealing efforts.  ``None`` keeps
         the schedule's own seed (the serial reference behaviour).
     anneal:
-        Annealing schedule override for the ``anneal`` effort; ``None``
-        uses the solver's default schedule.
+        Annealing schedule override for the annealing efforts, including the
+        chain count of multi-chain search; ``None`` uses the solver's
+        default schedule.  Both the effort and the chain count are part of
+        the task signature, so changing either can never reuse a stale
+        cached layout.
     """
 
     key: PanelKey
@@ -77,6 +82,10 @@ class PanelTask:
             raise ValueError(
                 f"unknown panel solver {self.solver!r} (expected one of {PANEL_SOLVERS})"
             )
+        if self.effort not in EFFORT_LEVELS:
+            raise ValueError(
+                f"unknown SINO effort level {self.effort!r} (expected one of {EFFORT_LEVELS})"
+            )
 
     def signature(self) -> str:
         """Content signature of this task (the cache key)."""
@@ -85,15 +94,24 @@ class PanelTask:
         )
 
 
-def solve_panel_task(task: PanelTask) -> Tuple[PanelKey, SinoSolution]:
-    """Solve one panel task; the worker function every backend executes."""
+def solve_panel_task(
+    task: PanelTask, backend: Optional[ExecutionBackend] = None
+) -> Tuple[PanelKey, SinoSolution]:
+    """Solve one panel task; the worker function every backend executes.
+
+    ``backend`` optionally fans the chains of a multi-chain effort out in
+    parallel; pool workers leave it ``None`` (panels are already parallel at
+    that level, and chain results never depend on how they were dispatched).
+    """
     if task.solver == "ordering":
         solution = net_ordering_only(task.problem)
     else:
         config = task.anneal
         if task.seed is not None:
             config = replace(config or AnnealConfig(), seed=task.seed)
-        solution = solve_min_area_sino(task.problem, effort=task.effort, config=config)
+        solution = solve_min_area_sino(
+            task.problem, effort=task.effort, config=config, backend=backend
+        )
     return task.key, solution
 
 
@@ -133,17 +151,22 @@ class Engine:
         anneal: Optional[AnnealConfig] = None,
         key: PanelKey = ((0, 0), "single"),
     ) -> SinoSolution:
-        """Solve one panel inline, through the cache when one is attached."""
+        """Solve one panel inline, through the cache when one is attached.
+
+        Multi-chain efforts fan their chains over this engine's backend (the
+        panel itself runs in the calling thread); results are identical for
+        every backend, so cached layouts stay backend-agnostic.
+        """
         task = PanelTask(
             key=key, problem=problem, solver=solver, effort=effort, seed=seed, anneal=anneal
         )
         if self.cache is None:
-            return solve_panel_task(task)[1]
+            return solve_panel_task(task, backend=self.backend)[1]
         signature = task.signature()
         cached = self.cache.get(signature, problem)
         if cached is not None:
             return cached
-        solution = solve_panel_task(task)[1]
+        solution = solve_panel_task(task, backend=self.backend)[1]
         self.cache.put(signature, solution)
         return solution
 

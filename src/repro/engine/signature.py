@@ -14,8 +14,10 @@ A signature covers everything that can influence the solution:
   no formatting round-off can alias two different bounds),
 * the default bound and the track capacity,
 * the Keff model parameters,
-* the solver (``"sino"`` / ``"ordering"``), the effort level and the
-  per-task seed.
+* the solver (``"sino"`` / ``"ordering"``), the effort level, the per-task
+  seed and the full annealing schedule including its chain count — so raising
+  ``AnnealConfig.chains`` or switching effort levels can never hit a stale
+  cached layout.
 
 Phase III mutates bounds via :meth:`SinoProblem.with_bounds`; because the
 bounds are part of the signature, a tightened or relaxed panel can never hit
@@ -32,7 +34,8 @@ from repro.sino.panel import SinoProblem
 
 #: Signature scheme version; bump when the token layout changes so persisted
 #: caches (if any) cannot return solutions hashed under an older scheme.
-SIGNATURE_VERSION = 1
+#: Version 2 added the chain count to the annealing-schedule token.
+SIGNATURE_VERSION = 2
 
 
 def _float_token(value: float) -> str:
@@ -95,6 +98,7 @@ def _anneal_token(anneal: Optional[AnnealConfig]) -> str:
             _float_token(anneal.shield_weight),
             _float_token(anneal.overflow_weight),
             str(anneal.seed),
+            str(anneal.chains),
         )
     )
 

@@ -20,7 +20,7 @@ reports and capacity planning consume without walking raw results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.backends import ExecutionBackend, SerialBackend

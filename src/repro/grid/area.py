@@ -22,7 +22,7 @@ which is what Table 3 lists for the ID+NO baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.grid.congestion import CongestionMap
 from repro.grid.regions import HORIZONTAL, VERTICAL, RoutingGrid

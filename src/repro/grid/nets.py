@@ -10,8 +10,8 @@ implements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.grid.regions import RegionCoord, RoutingGrid
 from repro.grid.sensitivity import ExplicitSensitivity, SensitivityOracle

@@ -14,7 +14,7 @@ physical dimensions are in micrometres to match the paper's tables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 #: A region coordinate: (column index, row index).
 RegionCoord = Tuple[int, int]

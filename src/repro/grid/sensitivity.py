@@ -20,7 +20,7 @@ provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+from typing import Dict, FrozenSet, Iterable, Mapping, Set
 
 
 class SensitivityOracle(ABC):

@@ -13,7 +13,7 @@ common global-routing practice:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence
 
 from repro.grid.nets import Pin
 

@@ -9,7 +9,7 @@ from repro.noise.keff import DEFAULT_KEFF_MODEL, KeffModel
 from repro.noise.lsk import LskModel, LskTable, linear_reference_table
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
 from repro.router.weights import WeightConfig
-from repro.sino.anneal import AnnealConfig
+from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 from repro.sino.estimate import ShieldEstimator, default_shield_estimator
 from repro.tech.itrs import ITRS_100NM, Technology
 
@@ -46,12 +46,15 @@ class GsinoConfig:
         inverse restores full-size electrical behaviour so the crosstalk
         regime of the paper is preserved (see DESIGN.md).
     sino_effort:
-        ``"greedy"`` or ``"anneal"`` — effort level of every per-region SINO
-        solve.
+        Effort level of every per-region SINO solve — one of
+        :data:`repro.sino.anneal.EFFORT_LEVELS`: ``"greedy"``, ``"anneal"``,
+        ``"anneal-fast"`` (quarter-length schedule) or ``"portfolio"``
+        (greedy plus annealing chains, best feasible wins).
     anneal:
-        Annealing schedule used when ``sino_effort`` is ``"anneal"``;
-        ``None`` uses the solver's default schedule.  Part of the panel
-        cache key, so changing the schedule never reuses stale solutions.
+        Annealing schedule used by the annealing effort levels, including
+        the multi-chain count (``AnnealConfig.chains``); ``None`` uses the
+        solver's default schedule.  Part of the panel cache key, so changing
+        the schedule or chain count never reuses stale solutions.
     gsino_weights / baseline_weights:
         Formula 2 configurations for the GSINO router (shield reservation on)
         and the baseline router (reservation off), respectively.
@@ -91,8 +94,10 @@ class GsinoConfig:
             raise ValueError(f"crosstalk_bound must be positive, got {self.crosstalk_bound}")
         if self.length_scale <= 0.0:
             raise ValueError(f"length_scale must be positive, got {self.length_scale}")
-        if self.sino_effort not in ("greedy", "anneal"):
-            raise ValueError(f"sino_effort must be 'greedy' or 'anneal', got {self.sino_effort!r}")
+        if self.sino_effort not in EFFORT_LEVELS:
+            raise ValueError(
+                f"sino_effort must be one of {EFFORT_LEVELS}, got {self.sino_effort!r}"
+            )
         if not 0.0 < self.refine_kth_shrink < 1.0:
             raise ValueError(f"refine_kth_shrink must lie in (0, 1), got {self.refine_kth_shrink}")
         if self.max_pass1_iterations < 0 or self.max_pass2_regions < 0:

@@ -17,8 +17,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.grid.area import AreaReport, routing_area
 from repro.grid.congestion import CongestionMap
-from repro.grid.nets import Netlist
-from repro.grid.regions import RegionCoord, RoutingGrid
+from repro.grid.regions import RegionCoord
 from repro.grid.routes import RoutingSolution
 from repro.gsino.config import UM_TO_M, GsinoConfig
 from repro.noise.lsk import LskModel

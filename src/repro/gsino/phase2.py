@@ -15,7 +15,7 @@ baseline routing (``solver="sino"``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from repro.engine.panels import Engine
 from repro.grid.congestion import CongestionMap

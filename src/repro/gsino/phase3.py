@@ -26,7 +26,7 @@ greedy one-region-at-a-time structure of Figure 2 (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set
 
 from repro.engine.panels import Engine
 from repro.grid.nets import Netlist

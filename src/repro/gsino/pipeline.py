@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.engine.cache import CacheStats, SolutionCache
 from repro.engine.panels import Engine
@@ -16,7 +16,7 @@ from repro.gsino.budgeting import NetBudget, compute_budgets
 from repro.gsino.config import GsinoConfig
 from repro.gsino.metrics import FlowMetrics, PanelKey, compute_flow_metrics
 from repro.gsino.phase1 import run_phase1
-from repro.gsino.phase2 import Phase2Result, run_phase2
+from repro.gsino.phase2 import run_phase2
 from repro.gsino.phase3 import Phase3Report, run_phase3
 from repro.router.iterative_deletion import RouterReport
 from repro.sino.panel import SinoSolution

@@ -268,8 +268,6 @@ def panel_couplings_fast(
 
     # Shields strictly between every pair: prefix counts over shield tracks.
     if shield_tracks.size:
-        below = np.searchsorted(shield_tracks, signal_tracks, side="left")
-        low = np.minimum(below[:, None], below[None, :])
         high_tracks = np.maximum(signal_tracks[:, None], signal_tracks[None, :])
         low_tracks = np.minimum(signal_tracks[:, None], signal_tracks[None, :])
         # Count shields with low_track < shield < high_track.

@@ -19,7 +19,7 @@ paper's table has 100 entries spanning 0.10 V to 0.20 V.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -14,7 +14,7 @@ for analysis and tests via :meth:`ConnectionGraph.to_networkx`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 

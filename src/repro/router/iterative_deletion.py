@@ -26,8 +26,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.grid.nets import Netlist
 from repro.grid.regions import RegionCoord, RoutingGrid
@@ -36,7 +36,7 @@ from repro.grid.steiner import rsmt_length_estimate
 from repro.router.connection_graph import ConnectionGraph, build_connection_graph
 from repro.router.realize import prune_to_tree
 from repro.router.weights import WeightConfig, edge_weight
-from repro.sino.estimate import ShieldEstimator, default_shield_estimator, formula3_features
+from repro.sino.estimate import ShieldEstimator, default_shield_estimator
 
 #: Key identifying one routing resource: a region coordinate plus a direction.
 ResourceKey = Tuple[RegionCoord, str]

@@ -20,7 +20,18 @@ Formula 3 (:mod:`repro.sino.estimate`).
 from repro.sino.panel import SinoProblem, SinoSolution
 from repro.sino.checker import CheckResult, check_solution
 from repro.sino.greedy import greedy_sino
-from repro.sino.anneal import AnnealConfig, anneal_sino, solve_min_area_sino
+from repro.sino.anneal import (
+    ANNEAL_FAST_DIVISOR,
+    EFFORT_LEVELS,
+    AnnealConfig,
+    anneal_sino,
+    anneal_sino_multichain,
+    anneal_sino_reference,
+    derive_chain_seed,
+    reduce_best_feasible,
+    solve_min_area_sino,
+)
+from repro.sino.incremental import IncrementalPanelState, Move
 from repro.sino.net_ordering import net_ordering_only
 from repro.sino.estimate import (
     Formula3Coefficients,
@@ -35,9 +46,17 @@ __all__ = [
     "CheckResult",
     "check_solution",
     "greedy_sino",
+    "ANNEAL_FAST_DIVISOR",
+    "EFFORT_LEVELS",
     "AnnealConfig",
     "anneal_sino",
+    "anneal_sino_multichain",
+    "anneal_sino_reference",
+    "derive_chain_seed",
+    "reduce_best_feasible",
     "solve_min_area_sino",
+    "IncrementalPanelState",
+    "Move",
     "net_ordering_only",
     "Formula3Coefficients",
     "ShieldEstimator",

@@ -11,18 +11,52 @@ usual Metropolis criterion.
 The cost function puts a large weight on constraint violations, a unit weight
 per shield track and a medium weight per overflow track, so the search drives
 towards *feasible* layouts first and *small* layouts second.
+
+Two implementations share the move semantics and the RNG stream:
+
+* :func:`anneal_sino` — the production path, built on
+  :class:`~repro.sino.incremental.IncrementalPanelState`; each proposal is an
+  O(affected rows) delta-cost update, and the compaction of accepted layouts
+  is guarded by a cheap bound so non-improving moves skip it entirely.
+* :func:`anneal_sino_reference` — the historic implementation that deep-copies
+  the layout and re-evaluates the full scalar cost per proposal.  It is kept
+  as the correctness oracle: both functions return bit-identical layouts for
+  every (problem, config) pair, which the test suite asserts seed-for-seed.
+
+Effort levels (``solve_min_area_sino``, ``GsinoConfig.sino_effort``, and the
+CLI ``--effort`` / ``--chains`` flags) select how hard each panel is solved:
+
+* ``"greedy"`` — constructive heuristic only,
+* ``"anneal"`` — greedy + simulated annealing (``AnnealConfig.chains``
+  independent chains when > 1),
+* ``"anneal-fast"`` — annealing on a quarter-length schedule,
+* ``"portfolio"`` — the greedy solution plus ``chains`` annealing chains,
+  reduced to the best feasible candidate.
+
+Multi-chain search derives one seed per chain (chain 0 keeps the configured
+seed, so ``chains=1`` reproduces the single-chain results exactly) and can be
+dispatched over any :class:`~repro.engine.backends.ExecutionBackend` passed by
+the caller; the reduction is deterministic regardless of the backend.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sino.greedy import greedy_sino
+from repro.sino.incremental import IncrementalPanelState, Move
 from repro.sino.panel import SHIELD, SinoProblem, SinoSolution
+
+#: Effort levels accepted by :func:`solve_min_area_sino` (and, transitively,
+#: ``GsinoConfig.sino_effort``, ``PanelTask.effort`` and the CLI ``--effort``).
+EFFORT_LEVELS: Tuple[str, ...] = ("greedy", "anneal", "anneal-fast", "portfolio")
+
+#: Schedule-length divisor of the ``"anneal-fast"`` effort level.
+ANNEAL_FAST_DIVISOR = 4
 
 
 @dataclass(frozen=True)
@@ -45,6 +79,11 @@ class AnnealConfig:
         Cost per track beyond the region capacity.
     seed:
         Random seed for reproducibility.
+    chains:
+        Number of independent annealing chains.  Chain 0 uses ``seed``
+        itself (so ``chains=1`` is exactly the single-chain search); every
+        further chain derives its own seed via :func:`derive_chain_seed`.
+        The best feasible chain result wins.
     """
 
     iterations: int = 1500
@@ -55,6 +94,7 @@ class AnnealConfig:
     shield_weight: float = 1.0
     overflow_weight: float = 5.0
     seed: int = 0
+    chains: int = 1
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -63,6 +103,8 @@ class AnnealConfig:
             raise ValueError("temperatures must be positive")
         if self.final_temperature > self.initial_temperature:
             raise ValueError("final_temperature must not exceed initial_temperature")
+        if self.chains < 1:
+            raise ValueError(f"chains must be >= 1, got {self.chains}")
 
     def temperature_at(self, step: int) -> float:
         """Geometric cooling schedule evaluated at a step index."""
@@ -112,6 +154,43 @@ def _propose(solution: SinoSolution, rng: np.random.Generator) -> SinoSolution:
     return candidate
 
 
+def _sample_move(state: IncrementalPanelState, rng: np.random.Generator) -> Move:
+    """Draw one random move, consuming the RNG exactly like :func:`_propose`.
+
+    The shield tracks are passed to ``rng.choice`` as the state's sorted
+    array rather than a rebuilt list — ``choice`` draws a uniform index
+    either way, so the stream and the drawn values are unchanged.
+    """
+    num_tracks = state.num_tracks
+    move = rng.random()
+    if move < 0.4 and num_tracks >= 2:
+        i, j = rng.choice(num_tracks, size=2, replace=False)
+        return Move.swap(int(i), int(j))
+    elif move < 0.6 and state.num_shields > 0:
+        position = int(rng.choice(state.shield_array()))
+        gap = int(rng.integers(0, num_tracks))
+        return Move.relocate(position, gap)
+    elif move < 0.8 and state.num_shields > 0:
+        return Move.delete(int(rng.choice(state.shield_array())))
+    else:
+        gap = int(rng.integers(0, num_tracks + 1))
+        return Move.insert(gap)
+
+
+def _compact_gain_bound(state: IncrementalPanelState, config: AnnealConfig) -> float:
+    """Upper bound on how much cost :meth:`SinoSolution.compact` can recover.
+
+    Compaction only ever removes shields, and removing a shield weakly
+    increases every coupling and every adjacency count, so the only cost
+    components it can improve are the shield term and the overflow term.
+    """
+    num_shields = state.num_shields
+    return (
+        num_shields * config.shield_weight
+        + min(num_shields, state.overflow) * config.overflow_weight
+    )
+
+
 def anneal_sino(
     problem: SinoProblem,
     initial: Optional[SinoSolution] = None,
@@ -121,12 +200,104 @@ def anneal_sino(
 
     If no feasible layout is ever seen, the lowest-cost layout is returned
     instead (the caller can check ``is_valid``).
+
+    Every proposal is evaluated as an incremental delta against the current
+    layout (:class:`~repro.sino.incremental.IncrementalPanelState`), and an
+    accepted layout is only compacted and scored against the incumbent when
+    a cheap bound says compaction could actually beat it — both of which
+    leave the results bit-identical to :func:`anneal_sino_reference`.
+    """
+    config = config or AnnealConfig()
+    rng = np.random.default_rng(config.seed)
+    current = (initial or greedy_sino(problem)).copy()
+    state = IncrementalPanelState(problem, current.layout, config)
+    current_cost = state.cost
+    best = current.compact()
+    best_cost = solution_cost(best, config)
+    best_valid: Optional[SinoSolution] = best if best.is_valid() else None
+    # Compaction is a pure function of the layout, and the chain keeps
+    # revisiting the same layouts once the temperature drops.
+    compact_cache: dict = {}
+
+    for step in range(config.iterations):
+        temperature = config.temperature_at(step)
+        delta = state.propose(_sample_move(state, rng))
+        if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+            current_cost = state.commit()
+            # An invalid layout stays invalid under compaction, so unless the
+            # bound says the compacted cost could undercut the incumbent there
+            # is nothing to learn from compacting (the historic implementation
+            # compacted and re-scored after *every* accepted move).
+            if state.is_current_valid() or (
+                current_cost - _compact_gain_bound(state, config) < best_cost
+            ):
+                key = state.layout_key()
+                cached = compact_cache.get(key)
+                if cached is None:
+                    cached = state.compacted()
+                    compact_cache[key] = cached
+                compacted, compacted_cost, compacted_valid = cached
+                if compacted_cost < best_cost:
+                    best = compacted
+                    best_cost = compacted_cost
+                if compacted_valid:
+                    if best_valid is None or compacted.num_shields < best_valid.num_shields:
+                        best_valid = compacted
+        else:
+            state.revert()
+    return best_valid if best_valid is not None else best
+
+
+def _reference_compact(solution: SinoSolution) -> SinoSolution:
+    """The historic compaction pass, preserved verbatim for the oracle.
+
+    Identical decisions (and therefore identical layouts) to
+    :meth:`SinoSolution.compact`, but evaluated the way the pre-incremental
+    code base did — every removal candidate re-counts capacitive violations
+    through freshly built occupant records — so the reference annealer keeps
+    the historic cost profile the benchmarks measure speedups against.
+    """
+    evaluator = solution.problem.evaluator()
+    layout = list(solution.layout)
+    excess = evaluator.total_excess(layout)
+    capacitive = len(
+        SinoSolution(problem=solution.problem, layout=layout).capacitive_violation_pairs()
+    )
+    index = len(layout) - 1
+    while index >= 0:
+        if layout[index] is SHIELD:
+            candidate = layout[:index] + layout[index + 1 :]
+            candidate_excess = evaluator.total_excess(candidate)
+            candidate_capacitive = len(
+                SinoSolution(
+                    problem=solution.problem, layout=candidate
+                ).capacitive_violation_pairs()
+            )
+            if candidate_excess <= excess + 1e-12 and candidate_capacitive <= capacitive:
+                layout = candidate
+                excess = candidate_excess
+                capacitive = candidate_capacitive
+        index -= 1
+    return SinoSolution(problem=solution.problem, layout=layout)
+
+
+def anneal_sino_reference(
+    problem: SinoProblem,
+    initial: Optional[SinoSolution] = None,
+    config: Optional[AnnealConfig] = None,
+) -> SinoSolution:
+    """The historic full-re-evaluation annealer, kept as the oracle.
+
+    Deep-copies the layout and recomputes the complete scalar cost for every
+    proposal, and compacts after every accepted move.  :func:`anneal_sino`
+    must return bit-identical layouts for the same inputs; the test suite and
+    the ``bench_sino_anneal`` benchmark both assert that equivalence.
     """
     config = config or AnnealConfig()
     rng = np.random.default_rng(config.seed)
     current = (initial or greedy_sino(problem)).copy()
     current_cost = solution_cost(current, config)
-    best = current.compact()
+    best = _reference_compact(current)
     best_cost = solution_cost(best, config)
     best_valid: Optional[SinoSolution] = best if best.is_valid() else None
 
@@ -138,7 +309,7 @@ def anneal_sino(
         if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
             current = candidate
             current_cost = candidate_cost
-            compacted = current.compact()
+            compacted = _reference_compact(current)
             compacted_cost = solution_cost(compacted, config)
             if compacted_cost < best_cost:
                 best = compacted
@@ -149,23 +320,126 @@ def anneal_sino(
     return best_valid if best_valid is not None else best
 
 
+# -- multi-chain search -------------------------------------------------------
+
+
+def derive_chain_seed(seed: int, chain: int) -> int:
+    """Deterministic per-chain seed; chain 0 keeps the configured seed."""
+    if chain == 0:
+        return seed
+    return int(np.random.SeedSequence((seed, chain)).generate_state(1)[0])
+
+
+def _anneal_chain(task: Tuple[SinoProblem, Optional[List[Optional[int]]], AnnealConfig]):
+    """Run one annealing chain (module-level so process pools can pickle it)."""
+    problem, initial_layout, config = task
+    initial = None
+    if initial_layout is not None:
+        initial = SinoSolution(problem=problem, layout=list(initial_layout))
+    return anneal_sino(problem, initial=initial, config=config)
+
+
+def reduce_best_feasible(
+    solutions: Sequence[SinoSolution], config: AnnealConfig
+) -> SinoSolution:
+    """Pick the best candidate: valid beats invalid, then fewest shields.
+
+    Invalid candidates are compared by :func:`solution_cost`; ties keep the
+    earliest candidate, so the reduction is deterministic for any execution
+    order that preserves the candidate sequence (all backends do).
+    """
+    if not solutions:
+        raise ValueError("at least one candidate solution is required")
+    best: Optional[SinoSolution] = None
+    best_key: Tuple[int, float] = (2, 0.0)
+    for solution in solutions:
+        if solution.is_valid():
+            key = (0, float(solution.num_shields))
+        else:
+            key = (1, solution_cost(solution, config))
+        if best is None or key < best_key:
+            best = solution
+            best_key = key
+    return best
+
+
+def _run_chains(
+    problem: SinoProblem,
+    initial: Optional[SinoSolution],
+    config: AnnealConfig,
+    backend: Optional[Any],
+) -> List[SinoSolution]:
+    """Run ``config.chains`` independent chains, optionally over a backend."""
+    layout = None if initial is None else list(initial.layout)
+    tasks = [
+        (problem, layout, replace(config, seed=derive_chain_seed(config.seed, chain), chains=1))
+        for chain in range(config.chains)
+    ]
+    if backend is None or len(tasks) == 1:
+        return [_anneal_chain(task) for task in tasks]
+    return backend.map_tasks(_anneal_chain, tasks)
+
+
+def anneal_sino_multichain(
+    problem: SinoProblem,
+    initial: Optional[SinoSolution] = None,
+    config: Optional[AnnealConfig] = None,
+    backend: Optional[Any] = None,
+) -> SinoSolution:
+    """Run ``config.chains`` independent annealing chains and reduce.
+
+    ``backend`` is an optional :class:`~repro.engine.backends.ExecutionBackend`
+    (duck-typed to avoid a layering cycle — the engine imports this module);
+    ``None`` runs the chains inline.  The result is identical for every
+    backend, and ``chains=1`` reproduces :func:`anneal_sino` exactly.
+    """
+    config = config or AnnealConfig()
+    return reduce_best_feasible(_run_chains(problem, initial, config, backend), config)
+
+
+def _fast_schedule(config: Optional[AnnealConfig]) -> AnnealConfig:
+    """The ``"anneal-fast"`` schedule: a quarter of the configured moves."""
+    config = config or AnnealConfig()
+    return replace(config, iterations=max(1, config.iterations // ANNEAL_FAST_DIVISOR))
+
+
 def solve_min_area_sino(
     problem: SinoProblem,
     effort: str = "greedy",
     config: Optional[AnnealConfig] = None,
+    backend: Optional[Any] = None,
 ) -> SinoSolution:
     """Solve one SINO instance at a chosen effort level.
 
-    ``effort`` is one of:
+    ``effort`` is one of :data:`EFFORT_LEVELS`:
 
     * ``"greedy"`` — constructive heuristic only (fast, used per-region at
       full-chip scale),
     * ``"anneal"`` — greedy construction followed by simulated annealing
       (slower, closer to minimum area; used when fitting Formula 3 and in the
-      single-region studies).
+      single-region studies).  ``config.chains > 1`` runs that many
+      independent chains and keeps the best feasible result,
+    * ``"anneal-fast"`` — annealing on a quarter-length cooling schedule,
+      for sweeps that want improvement over greedy without the full budget,
+    * ``"portfolio"`` — the greedy solution plus ``config.chains`` annealing
+      chains, reduced with :func:`reduce_best_feasible` (never worse than
+      greedy, usually as good as the best chain).
+
+    ``backend`` optionally fans multi-chain efforts over an execution
+    backend; results never depend on it.
     """
     if effort == "greedy":
         return greedy_sino(problem)
-    if effort == "anneal":
-        return anneal_sino(problem, config=config)
-    raise ValueError(f"unknown SINO effort level {effort!r} (expected 'greedy' or 'anneal')")
+    if effort in ("anneal", "anneal-fast"):
+        schedule = _fast_schedule(config) if effort == "anneal-fast" else (config or AnnealConfig())
+        if schedule.chains > 1:
+            return anneal_sino_multichain(problem, config=schedule, backend=backend)
+        return anneal_sino(problem, config=schedule)
+    if effort == "portfolio":
+        schedule = config or AnnealConfig()
+        candidates = [greedy_sino(problem)]
+        candidates.extend(_run_chains(problem, None, schedule, backend))
+        return reduce_best_feasible(candidates, schedule)
+    raise ValueError(
+        f"unknown SINO effort level {effort!r} (expected one of {EFFORT_LEVELS})"
+    )

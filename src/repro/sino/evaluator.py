@@ -63,7 +63,17 @@ class PanelEvaluator:
         """Number of segments the evaluator was built for."""
         return len(self.segments)
 
-    def _layout_arrays(self, layout: Sequence[Optional[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    @property
+    def sensitive_matrix(self) -> np.ndarray:
+        """The symmetric boolean sensitivity matrix (segment order; read-only)."""
+        return self._sensitive
+
+    @property
+    def bounds_vector(self) -> np.ndarray:
+        """Per-segment Kth bounds in segment order (read-only)."""
+        return self._bounds
+
+    def layout_arrays(self, layout: Sequence[Optional[int]]) -> Tuple[np.ndarray, np.ndarray]:
         """Track positions of each segment (in segment order) and of the shields."""
         positions = np.empty(len(self.segments))
         positions.fill(np.nan)
@@ -83,7 +93,7 @@ class PanelEvaluator:
 
     def coupling_vector(self, layout: Sequence[Optional[int]]) -> np.ndarray:
         """``K_i`` for every segment, in the evaluator's segment order."""
-        positions, shield_tracks = self._layout_arrays(layout)
+        positions, shield_tracks = self.layout_arrays(layout)
         n = positions.size
         if n == 0:
             return np.zeros(0)
@@ -130,3 +140,17 @@ class PanelEvaluator:
         """Segments whose coupling exceeds their bound."""
         excess = self.excess_vector(layout)
         return [self.segments[i] for i in np.nonzero(excess > 1e-12)[0]]
+
+    def capacitive_count(self, layout: Sequence[Optional[int]]) -> int:
+        """Number of adjacent sensitive segment pairs in a layout.
+
+        Equals ``len(SinoSolution(...).capacitive_violation_pairs())`` — two
+        segments are adjacent exactly when their track distance is 1 — but
+        runs on the precomputed sensitivity matrix instead of building
+        occupant records, which matters in the solvers' compaction loops.
+        """
+        positions, _ = self.layout_arrays(layout)
+        if positions.size < 2:
+            return 0
+        distance = np.abs(positions[:, None] - positions[None, :])
+        return int(np.count_nonzero(self._sensitive & (distance == 1.0))) // 2

@@ -18,7 +18,6 @@ from repro.noise.keff import (
     KeffModel,
     PanelOccupant,
     capacitive_violations,
-    panel_couplings,
 )
 from repro.sino.evaluator import PanelEvaluator
 
@@ -288,15 +287,13 @@ class SinoSolution:
         evaluator = self.problem.evaluator()
         layout = list(self.layout)
         excess = evaluator.total_excess(layout)
-        capacitive = len(SinoSolution(problem=self.problem, layout=layout).capacitive_violation_pairs())
+        capacitive = evaluator.capacitive_count(layout)
         index = len(layout) - 1
         while index >= 0:
             if layout[index] is SHIELD:
-                candidate = layout[:index] + layout[index + 1:]
+                candidate = layout[:index] + layout[index + 1 :]
                 candidate_excess = evaluator.total_excess(candidate)
-                candidate_capacitive = len(
-                    SinoSolution(problem=self.problem, layout=candidate).capacitive_violation_pairs()
-                )
+                candidate_capacitive = evaluator.capacitive_count(candidate)
                 if candidate_excess <= excess + 1e-12 and candidate_capacitive <= capacitive:
                     layout = candidate
                     excess = candidate_excess

@@ -15,7 +15,6 @@ from repro.analysis.experiments import (
     table3_rows,
 )
 from repro.analysis.report import format_percentage, format_table, render_comparison
-from repro.gsino.config import GsinoConfig
 
 
 class TestReportFormatting:

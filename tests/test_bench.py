@@ -10,7 +10,7 @@ from repro.bench.placement import (
     average_hpwl,
     generate_nets,
 )
-from repro.bench.profiles import IBM_PROFILES, CircuitProfile, get_profile, list_profiles
+from repro.bench.profiles import CircuitProfile, get_profile, list_profiles
 
 
 class TestProfiles:

@@ -9,7 +9,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 

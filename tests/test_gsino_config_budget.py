@@ -6,7 +6,6 @@ from repro.grid.nets import Net, Netlist, Pin
 from repro.gsino.budgeting import NetBudget, bounds_for_nets, budget_for_net, compute_budgets
 from repro.gsino.config import UM_TO_M, GsinoConfig, default_reference_table
 from repro.noise.lsk import LskModel, linear_reference_table
-from repro.router.weights import WeightConfig
 from repro.tech.itrs import ITRS_100NM, ITRS_130NM
 
 

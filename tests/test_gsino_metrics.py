@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grid.nets import Net, Netlist, Pin
-from repro.grid.regions import HORIZONTAL, VERTICAL, RoutingGrid
+from repro.grid.regions import HORIZONTAL, RoutingGrid
 from repro.grid.routes import RouteTree, RoutingSolution
 from repro.gsino.config import GsinoConfig
 from repro.gsino.metrics import (

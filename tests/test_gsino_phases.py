@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.gsino.baselines import run_baseline_flows, run_id_no, run_isino
+from repro.gsino.baselines import run_id_no, run_isino
 from repro.gsino.budgeting import compute_budgets
-from repro.gsino.config import GsinoConfig
-from repro.gsino.metrics import evaluate_crosstalk, panel_coupling_cache
+from repro.gsino.metrics import evaluate_crosstalk
 from repro.gsino.phase1 import run_phase1
 from repro.gsino.phase2 import build_panel_problem, run_phase2
 from repro.gsino.phase3 import run_phase3
-from repro.gsino.pipeline import compare_flows, run_gsino
+from repro.gsino.pipeline import compare_flows
 
 
 @pytest.fixture(scope="module")

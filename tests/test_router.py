@@ -5,7 +5,6 @@ import pytest
 from repro.grid.congestion import CongestionMap
 from repro.grid.nets import Net, Netlist, Pin
 from repro.grid.regions import RoutingGrid
-from repro.grid.routes import normalize_edge
 from repro.router.connection_graph import ConnectionGraph, build_connection_graph
 from repro.router.iterative_deletion import IterativeDeletionRouter, route_netlist
 from repro.router.realize import prune_to_tree

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.noise.keff import PanelOccupant, panel_couplings
 from repro.sino.evaluator import PanelEvaluator

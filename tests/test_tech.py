@@ -1,6 +1,5 @@
 """Tests for the technology node descriptions and parasitic extraction."""
 
-import math
 
 import pytest
 
