@@ -20,7 +20,8 @@ for every backend — the experiments stay reproducible from the seed alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_percentage, format_table
 from repro.bench.ibm import GeneratedCircuit, generate_circuit
@@ -71,6 +72,12 @@ class ExperimentConfig:
     chains:
         Independent annealing chains per panel for the annealing effort
         levels (1 = single-chain search, the historic behaviour).
+    store_path:
+        Optional directory of a persistent result store
+        (:class:`repro.service.store.ResultStore`).  Every instance's cache
+        is backed by it, so repeated sweeps — including sweeps in *other
+        processes*, and instances fanned over a process backend — warm-start
+        from already-solved panels.  Requires ``use_cache``.
     """
 
     circuits: Tuple[str, ...] = DEFAULT_CIRCUITS
@@ -83,6 +90,7 @@ class ExperimentConfig:
     use_cache: bool = True
     sino_effort: str = "greedy"
     chains: int = 1
+    store_path: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -107,6 +115,8 @@ class ExperimentConfig:
             )
         if self.chains < 1:
             raise ValueError(f"chains must be >= 1, got {self.chains}")
+        if self.store_path is not None and not self.use_cache:
+            raise ValueError("store_path requires use_cache=True")
 
     def flow_config(self) -> GsinoConfig:
         """The per-instance flow configuration.
@@ -131,9 +141,19 @@ class ExperimentConfig:
         Panel solves inside an instance run serially — the sweep already
         parallelises at instance granularity, and nesting pools would
         oversubscribe — but the instance's three flows share one solution
-        cache unless caching is disabled.
+        cache unless caching is disabled.  A configured ``store_path`` backs
+        that cache with the persistent tier; the store is (re)opened here,
+        inside the worker, so process-backend sweeps each hold their own
+        handle on the shared directory (writes are atomic and idempotent).
         """
-        return Engine(cache=SolutionCache() if self.use_cache else None)
+        if not self.use_cache:
+            return Engine()
+        store = None
+        if self.store_path is not None:
+            from repro.service.store import ResultStore  # service sits above analysis
+
+            store = ResultStore(self.store_path)
+        return Engine(cache=SolutionCache(store=store))
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """Command-line interface for the GSINO reproduction.
 
-Three subcommands cover the common workflows::
+The one-shot subcommands cover the paper's workflows::
 
     python -m repro.cli tables  --scale 0.03 --circuits ibm01 ibm02
     python -m repro.cli compare --circuit ibm03 --rate 0.5 --scale 0.03
@@ -13,21 +13,33 @@ simulator and optionally writes it to a JSON file that ``GsinoConfig`` can
 load back.
 
 The flow-running subcommands share the engine flags (``--backend``,
-``--workers``, ``--no-cache``) and the solver flags: ``--effort`` picks the
-per-region SINO effort level (``greedy``, ``anneal``, ``anneal-fast`` or
-``portfolio``) and ``--chains N`` runs N independent annealing chains per
-panel, keeping the best feasible layout::
+``--workers``, ``--no-cache``, ``--store DIR``) and the solver flags:
+``--effort`` picks the per-region SINO effort level and ``--chains N`` runs N
+independent annealing chains per panel.  ``--store DIR`` backs the panel
+cache with the persistent result store in DIR, so repeated runs warm-start
+across processes::
 
-    python -m repro.cli compare --circuit ibm02 --effort anneal --chains 4
+    python -m repro.cli compare --circuit ibm02 --effort anneal --store .repro-store
+
+The service verbs run GSINO as a long-lived system (see
+:mod:`repro.service`)::
+
+    python -m repro.cli serve  --root svc --idle-exit 60 &
+    python -m repro.cli submit --root svc --scenario dense-bus --param seed=9 --wait 120
+    python -m repro.cli status --root svc
+    python -m repro.cli cancel --root svc JOB_ID
+    python -m repro.cli gc     --root svc --max-mb 64 --purge-jobs
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.experiments import (
     DEFAULT_CIRCUITS,
@@ -41,6 +53,17 @@ from repro.engine import BACKEND_NAMES, Engine, SolutionCache, create_backend
 from repro.gsino.config import GsinoConfig
 from repro.gsino.pipeline import compare_flows
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+from repro.service import (
+    ResultStore,
+    ServiceConfig,
+    ServiceDaemon,
+    gc_service,
+    list_scenarios,
+    request_cancel,
+    service_status,
+    submit_job,
+    wait_for_job,
+)
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 
 
@@ -48,6 +71,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {text}")
     return value
 
 
@@ -69,6 +99,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the panel-solution cache",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="back the panel cache with the persistent result store in DIR "
+        "(repeated runs warm-start across processes)",
     )
     parser.add_argument(
         "--effort",
@@ -124,6 +162,111 @@ def _add_characterize_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--output", type=Path, default=None, help="write the table JSON here")
 
 
+def _add_root_argument(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    parser.add_argument(
+        "--root",
+        type=Path,
+        required=required,
+        metavar="DIR",
+        help="service state directory (spool + result store)",
+    )
+
+
+def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("serve", help="run the job-service daemon")
+    _add_root_argument(parser)
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend for panel batches",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None, help="worker count for parallel backends"
+    )
+    parser.add_argument(
+        "--poll", type=_positive_float, default=0.5, metavar="SECONDS", help="spool poll interval"
+    )
+    parser.add_argument(
+        "--store-max-mb",
+        type=_positive_float,
+        default=None,
+        metavar="MB",
+        help="LRU size cap of the result store",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        help="exit after this many finished jobs (default: serve forever)",
+    )
+    parser.add_argument(
+        "--idle-exit",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long without runnable work (default: serve forever)",
+    )
+
+
+def _add_submit_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("submit", help="queue a scenario job for the daemon")
+    # --root is validated in the handler: --list reads only the in-process
+    # registry and needs no service directory.
+    _add_root_argument(parser, required=False)
+    parser.add_argument(
+        "--scenario", default=None, help="registered scenario name (see --list)"
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable), e.g. --param seed=9",
+    )
+    parser.add_argument("--priority", type=int, default=0, help="higher runs first")
+    parser.add_argument(
+        "--max-attempts", type=_positive_int, default=2, help="executions before a job fails"
+    )
+    parser.add_argument(
+        "--wait",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="block until the job finishes (exit code reflects its status)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered scenarios and exit"
+    )
+
+
+def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("status", help="report daemon, job, cache and store state")
+    _add_root_argument(parser)
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _add_cancel_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("cancel", help="request cancellation of a job")
+    _add_root_argument(parser)
+    parser.add_argument("job_id", help="id printed by `repro submit`")
+
+
+def _add_gc_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("gc", help="evict the result store / purge finished jobs")
+    _add_root_argument(parser)
+    parser.add_argument(
+        "--max-mb",
+        type=_positive_float,
+        default=None,
+        metavar="MB",
+        help="evict the store down to this size"
+    )
+    parser.add_argument(
+        "--purge-jobs", action="store_true", help="remove records of finished jobs"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -134,7 +277,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tables_parser(subparsers)
     _add_compare_parser(subparsers)
     _add_characterize_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_submit_parser(subparsers)
+    _add_status_parser(subparsers)
+    _add_cancel_parser(subparsers)
+    _add_gc_parser(subparsers)
     return parser
+
+
+def _mb_to_bytes(megabytes: Optional[float]) -> Optional[int]:
+    """MB flag value to bytes; flags are validated positive by argparse."""
+    if megabytes is None:
+        return None
+    return max(1, int(megabytes * 1024 * 1024))
 
 
 def _run_tables(args: argparse.Namespace) -> int:
@@ -148,6 +303,7 @@ def _run_tables(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         sino_effort=args.effort,
         chains=args.chains,
+        store_path=args.store,
     )
     start = time.perf_counter()
     comparisons = run_table_suite(config)
@@ -171,9 +327,10 @@ def _run_compare(args: argparse.Namespace) -> int:
         sino_effort=args.effort,
         anneal=AnnealConfig(chains=args.chains) if args.chains > 1 else None,
     )
+    store = None if args.store is None else ResultStore(args.store)
     engine = Engine(
         backend=create_backend(args.backend, args.workers),
-        cache=None if args.no_cache else SolutionCache(),
+        cache=None if args.no_cache else SolutionCache(store=store),
     )
     with engine:
         results = compare_flows(circuit.grid, circuit.netlist, config, engine=engine)
@@ -199,6 +356,14 @@ def _run_compare(args: argparse.Namespace) -> int:
         )
     if engine.cache is not None:
         print(f"  panel cache: {engine.cache_stats()} over {len(engine.cache)} entries")
+    if store is not None:
+        stats = engine.cache_stats()
+        redundant = "zero redundant solves" if stats.misses == 0 else f"{stats.misses} cold solves"
+        entries, total_bytes = store.disk_usage()
+        print(
+            f"  persistent store: {store.stats()}; {entries} entries, "
+            f"{total_bytes} bytes ({redundant})"
+        )
     return 0
 
 
@@ -215,20 +380,174 @@ def _run_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse ``KEY=VALUE`` overrides; values are JSON when possible, else str."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        root=args.root,
+        backend=args.backend,
+        workers=args.workers,
+        poll_interval=args.poll,
+        store_max_bytes=_mb_to_bytes(args.store_max_mb),
+    )
+    daemon = ServiceDaemon(config)
+    print(f"serving {args.root} [backend={args.backend}]", flush=True)
+    finished = daemon.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+    stats = daemon.engine.cache_stats()
+    print(f"served {finished} job(s); cache {stats} over {len(daemon.store)} stored layouts")
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    if args.list:
+        for name, description in list_scenarios():
+            print(f"  {name:18s} {description}")
+        return 0
+    if args.root is None:
+        raise SystemExit("--root is required to submit a job")
+    if args.scenario is None:
+        raise SystemExit("--scenario is required (or use --list)")
+    try:
+        job = submit_job(
+            args.root,
+            args.scenario,
+            params=_parse_params(args.param),
+            priority=args.priority,
+            max_attempts=args.max_attempts,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        # Unknown scenario / bad parameter: an operator mistake, not a crash.
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"submit rejected: {message}") from None
+    print(f"submitted {job.job_id} (scenario={job.scenario}, priority={job.priority})")
+    if args.wait is None:
+        return 0
+    try:
+        finished = wait_for_job(args.root, job.job_id, timeout=args.wait)
+    except TimeoutError as error:
+        print(f"{job.job_id}: {error} (is a daemon serving --root {args.root}?)")
+        return 1
+    print(f"{finished.job_id}: {finished.status}")
+    if finished.result is not None:
+        print(f"  result: {json.dumps(finished.result)}")
+    if finished.error:
+        print(f"  error: {finished.error}")
+    return 0 if finished.status == "done" else 1
+
+
+def _render_status(report: Dict[str, object]) -> str:
+    lines = [f"service root: {report['root']}"]
+    daemon = report["daemon"]
+    heartbeat = daemon.get("heartbeat") or {}
+    if daemon["alive"]:
+        lines.append(
+            f"daemon: running (pid {heartbeat.get('pid')}, "
+            f"heartbeat {daemon['heartbeat_age']:.1f}s ago, "
+            f"backend={heartbeat.get('backend')}, "
+            f"done={heartbeat.get('jobs_done')}, failed={heartbeat.get('jobs_failed')})"
+        )
+        cache = heartbeat.get("cache") or {}
+        lines.append(
+            "daemon cache: "
+            f"hits={cache.get('hits', 0)} misses={cache.get('misses', 0)} "
+            f"store_hits={cache.get('store_hits', 0)} "
+            f"hit_rate={cache.get('hit_rate', 0.0):.0%}"
+        )
+    else:
+        lines.append("daemon: not running")
+    counts = report["jobs"]["counts"]
+    summary = ", ".join(f"{count} {status}" for status, count in sorted(counts.items()))
+    lines.append(f"jobs: {summary or 'none'}")
+    for record in report["jobs"]["records"]:
+        note = ""
+        result = record.get("result") or {}
+        if result:
+            cache = result.get("cache") or {}
+            note = (
+                f"  panels={result.get('panels')} shields={result.get('shields')}"
+                f" cache={cache.get('hits', 0)}h/{cache.get('store_hits', 0)}d/"
+                f"{cache.get('misses', 0)}m"
+            )
+        if record.get("error"):
+            note += f"  error={record['error']}"
+        lines.append(f"  {record['job_id']:28s} {record['status']:9s}{note}")
+    totals = report["cache_totals"]
+    lines.append(
+        f"cache totals: hits={totals['hits']} misses={totals['misses']} "
+        f"store_hits={totals['store_hits']}"
+    )
+    store = report["store"]
+    if store is not None:
+        lines.append(f"store: {store['entries']} entries, {store['bytes']} bytes")
+    return "\n".join(lines)
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    report = service_status(args.root)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(_render_status(report))
+    return 0
+
+
+def _run_cancel(args: argparse.Namespace) -> int:
+    if request_cancel(args.root, args.job_id):
+        print(f"cancellation requested for {args.job_id}")
+        return 0
+    print(f"cannot cancel {args.job_id}: no such job, or it already finished")
+    return 1
+
+
+def _run_gc(args: argparse.Namespace) -> int:
+    report = gc_service(
+        args.root, max_bytes=_mb_to_bytes(args.max_mb), purge_jobs=args.purge_jobs
+    )
+    print(f"evicted {report['evicted_blobs']} blob(s), purged {report['purged_jobs']} job(s)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     if getattr(args, "workers", None) is not None and args.backend == "serial":
         parser.error("--workers requires a parallel backend (--backend thread|process)")
-    if args.command == "tables":
-        return _run_tables(args)
-    if args.command == "compare":
-        return _run_compare(args)
-    if args.command == "characterize":
-        return _run_characterize(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    if getattr(args, "store", None) is not None and getattr(args, "no_cache", False):
+        parser.error("--store requires the panel cache (drop --no-cache)")
+    handlers = {
+        "tables": _run_tables,
+        "compare": _run_compare,
+        "characterize": _run_characterize,
+        "serve": _run_serve,
+        "submit": _run_submit,
+        "status": _run_status,
+        "cancel": _run_cancel,
+        "gc": _run_gc,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro status | head`); not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ turns both into dispatchable work:
   ``submit_batch`` / ``map_tasks`` dispatch;
 * :mod:`repro.engine.signature` — stable content hashes of panel instances;
 * :mod:`repro.engine.cache` — the content-addressed :class:`SolutionCache`
-  with hit/miss statistics;
+  with per-tier hit/miss statistics; optionally backed by a persistent
+  :class:`LayoutStore` tier (``repro.service.store.ResultStore``) so fresh
+  processes warm-start from disk;
 * :mod:`repro.engine.panels` — :class:`PanelTask`, the backend worker
   function and the :class:`Engine` facade the flow drivers call;
 * :mod:`repro.engine.sweep` — :class:`SweepRunner`, fanning whole
@@ -29,7 +31,7 @@ from repro.engine.backends import (
     ThreadBackend,
     create_backend,
 )
-from repro.engine.cache import CacheStats, SolutionCache
+from repro.engine.cache import CacheStats, LayoutStore, SolutionCache
 from repro.engine.panels import Engine, PanelTask, solve_panel_task
 from repro.engine.signature import panel_signature, problem_token
 from repro.engine.sweep import FlowAggregate, SweepPoint, SweepRunner
@@ -42,6 +44,7 @@ __all__ = [
     "ProcessBackend",
     "create_backend",
     "CacheStats",
+    "LayoutStore",
     "SolutionCache",
     "Engine",
     "PanelTask",

@@ -26,7 +26,7 @@ because results are keyed, not ordered, on the way back.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.cache import CacheStats, SolutionCache
@@ -185,28 +185,44 @@ class Engine:
         Panels that are content-identical within the batch (the same net set
         recurring in several regions) are solved once and the layout shared.
         """
-        ordered_keys = sorted(problems)
-        solutions: Dict[PanelKey, SinoSolution] = {}
-        pending_signature: Dict[PanelKey, str] = {}
-        unique_tasks: Dict[str, PanelTask] = {}
-
-        for panel_key in ordered_keys:
-            problem = problems[panel_key]
-            task = PanelTask(
+        tasks = [
+            PanelTask(
                 key=panel_key,
-                problem=problem,
+                problem=problems[panel_key],
                 solver=solver,
                 effort=effort,
                 seed=seed,
                 anneal=anneal,
             )
+            for panel_key in sorted(problems)
+        ]
+        return self.solve_tasks(tasks)
+
+    def solve_tasks(self, tasks: Sequence[PanelTask]) -> Dict[PanelKey, SinoSolution]:
+        """Solve a heterogeneous batch of tasks (cache, dedupe, one fan-out).
+
+        Unlike :meth:`solve_panels` the tasks may mix solvers, efforts, seeds
+        and schedules — the service scheduler uses this to dispatch a whole
+        job's worth of scenario tasks in one backend submission.  Task keys
+        must be unique.  The returned dict is in sorted-key order regardless
+        of the backend.
+        """
+        ordered = sorted(tasks, key=lambda task: task.key)
+        if len({task.key for task in ordered}) != len(ordered):
+            raise ValueError("task keys must be unique within a batch")
+        solutions: Dict[PanelKey, SinoSolution] = {}
+        problems: Dict[PanelKey, SinoProblem] = {task.key: task.problem for task in ordered}
+        pending_signature: Dict[PanelKey, str] = {}
+        unique_tasks: Dict[str, PanelTask] = {}
+
+        for task in ordered:
             signature = task.signature()
             if self.cache is not None:
-                cached = self.cache.get(signature, problem)
+                cached = self.cache.get(signature, task.problem)
                 if cached is not None:
-                    solutions[panel_key] = cached
+                    solutions[task.key] = cached
                     continue
-            pending_signature[panel_key] = signature
+            pending_signature[task.key] = signature
             unique_tasks.setdefault(signature, task)
 
         solved = self.backend.map_tasks(solve_panel_task, list(unique_tasks.values()))
@@ -223,7 +239,7 @@ class Engine:
             )
 
         # Assemble in sorted order so dict insertion order is reproducible.
-        return {panel_key: solutions[panel_key] for panel_key in ordered_keys}
+        return {task.key: solutions[task.key] for task in ordered}
 
     # -- lifecycle ----------------------------------------------------------------
 

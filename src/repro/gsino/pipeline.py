@@ -49,7 +49,9 @@ class FlowResult:
         Wall-clock time of the flow.
     cache_stats:
         Solution-cache traffic attributed to this flow (hits/misses while it
-        ran); ``None`` when the flow ran without a cache.
+        ran, including ``store_hits`` served by a persistent result store
+        when the engine's cache is backed by one); ``None`` when the flow
+        ran without a cache.
     """
 
     name: str
@@ -133,6 +135,12 @@ def compare_flows(
     cache — so a panel instance that recurs across flows is solved once.
     When no engine is supplied a serial engine with a fresh cache is created
     for the comparison.
+
+    Backing the engine's cache with a persistent store
+    (``SolutionCache(store=ResultStore(dir))``) extends that guarantee
+    across *processes*: a repeated comparison re-anneals nothing, serving
+    every panel from the store (visible as ``store_hits`` in each flow's
+    ``cache_stats``).
     """
     # Imported here to avoid a circular import (baselines uses FlowResult).
     from repro.gsino.baselines import run_baseline_flows

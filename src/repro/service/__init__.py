@@ -1,0 +1,68 @@
+"""repro.service — persistent job-service layer.
+
+The engine layer (:mod:`repro.engine`) made panel solves dispatchable and
+cacheable *within* one process; this layer makes them durable *across*
+processes.  It is the subsystem every future scaling step (sharding, remote
+backends) builds on:
+
+* :mod:`repro.service.store` — :class:`ResultStore`, a disk-backed,
+  content-addressed store of solved panel layouts that plugs in as the
+  persistent second tier under :class:`repro.engine.cache.SolutionCache`;
+* :mod:`repro.service.queue` — :class:`Job` / :class:`JobQueue`, a
+  thread-safe priority queue with cancellation;
+* :mod:`repro.service.scheduler` — :class:`Scheduler`, which batches
+  compatible panel tasks of each job and dispatches them over any
+  :class:`~repro.engine.backends.ExecutionBackend`, with retries;
+* :mod:`repro.service.scenarios` — the scenario registry generating diverse
+  synthetic workloads far beyond the paper's three tables;
+* :mod:`repro.service.daemon` — the long-running service process behind the
+  ``repro serve`` / ``submit`` / ``status`` / ``gc`` CLI verbs, with a
+  file-based job spool so submitters never need a network connection.
+
+See DESIGN.md §"Service layer" for the on-disk formats and versioning rules.
+"""
+
+from repro.service.daemon import (
+    ServiceConfig,
+    ServiceDaemon,
+    gc_service,
+    request_cancel,
+    service_status,
+    submit_job,
+    wait_for_job,
+)
+from repro.service.queue import JOB_STATUSES, Job, JobQueue
+from repro.service.scenarios import (
+    SCENARIO_NAMES,
+    ScenarioSpec,
+    generate_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_spec,
+)
+from repro.service.scheduler import JobOutcome, Scheduler, batch_compatible
+from repro.service.store import ResultStore, StoreStats
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "Job",
+    "JobQueue",
+    "JOB_STATUSES",
+    "Scheduler",
+    "JobOutcome",
+    "batch_compatible",
+    "ScenarioSpec",
+    "SCENARIO_NAMES",
+    "generate_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_spec",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "submit_job",
+    "request_cancel",
+    "wait_for_job",
+    "service_status",
+    "gc_service",
+]

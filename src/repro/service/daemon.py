@@ -1,0 +1,561 @@
+"""The long-running service process and its file-based job spool.
+
+One directory is the whole service state, so ``repro submit`` / ``status`` /
+``gc`` work from any process with no network stack::
+
+    <root>/
+        service.json          # daemon heartbeat (pid, counters, cache stats)
+        store/                # ResultStore (persistent solution tier)
+        jobs/<job_id>.json    # one Job record each (atomic writes)
+        jobs/<job_id>.cancel  # cancellation marker dropped by `repro cancel`
+
+Submitters drop ``queued`` job records into ``jobs/``; the daemon polls the
+spool, feeds new records into its in-memory :class:`JobQueue`, lets the
+:class:`Scheduler` execute them through an engine whose cache is backed by
+the store, and writes every status transition back to the job file.  A
+daemon that crashed mid-job leaves the record in ``running``; the next
+daemon re-queues it (attempt count preserved), so at-least-once execution
+holds across restarts — and is harmless, because results are
+content-addressed and idempotent.
+
+``repro serve`` supports bounded runs (``--max-jobs``, ``--idle-exit``) so
+CI can smoke the full submit → poll → done loop without a supervisor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.engine.backends import create_backend
+from repro.engine.cache import SolutionCache
+from repro.engine.panels import Engine
+from repro.service.queue import Job, JobQueue
+from repro.service.scenarios import scenario_spec
+from repro.service.scheduler import Scheduler
+from repro.service.store import (
+    ResultStore,
+    atomic_write_text,
+    blob_disk_usage,
+    evict_lru_blobs,
+)
+
+#: Heartbeats older than this are reported as a dead/stale daemon.
+STALE_HEARTBEAT_SECONDS = 10.0
+
+
+def heartbeat_is_fresh(heartbeat: Dict[str, object]) -> bool:
+    """Whether a heartbeat indicates a live daemon.
+
+    The single definition of liveness — used both by ``repro status`` and by
+    a starting daemon deciding whether ``running`` spool records belong to a
+    live sibling; the two must never disagree.  A slow-polling daemon
+    heartbeats rarely, so the threshold scales with its poll interval.
+    """
+    if heartbeat.get("stopped"):
+        return False
+    age = time.time() - float(heartbeat.get("updated_at", 0.0))
+    return age < max(STALE_HEARTBEAT_SECONDS, 3.0 * float(heartbeat.get("poll_interval", 0.0)))
+
+
+def _jobs_dir(root: Path) -> Path:
+    return root / "jobs"
+
+
+def _job_path(root: Path, job_id: str) -> Path:
+    return _jobs_dir(root) / f"{job_id}.json"
+
+
+def _cancel_path(root: Path, job_id: str) -> Path:
+    return _jobs_dir(root) / f"{job_id}.cancel"
+
+
+def _write_job(root: Path, job: Job) -> None:
+    atomic_write_text(_job_path(root, job.job_id), json.dumps(job.to_dict(), indent=2) + "\n")
+
+
+def _load_jobs(root: Path) -> List[Job]:
+    jobs = []
+    for path in sorted(_jobs_dir(root).glob("*.json")):
+        try:
+            jobs.append(Job.from_dict(json.loads(path.read_text(encoding="utf-8"))))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            continue  # half-written or foreign file; the owner will rewrite it
+    return jobs
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` needs to run a daemon.
+
+    Attributes
+    ----------
+    root:
+        Service state directory (created on first use).
+    backend / workers:
+        Execution backend the scheduler dispatches panel batches over.
+    poll_interval:
+        Seconds between spool scans while idle.
+    store_max_bytes:
+        LRU size cap of the persistent result store (``None`` = uncapped).
+    """
+
+    root: Union[str, Path]
+    backend: str = "serial"
+    workers: Optional[int] = None
+    poll_interval: float = 0.5
+    store_max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {self.poll_interval}")
+        self.root = Path(self.root)
+
+
+class ServiceDaemon:
+    """Single-process service: spool in, engine-dispatched solves out."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        root = Path(config.root)
+        _jobs_dir(root).mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(root / "store", max_bytes=config.store_max_bytes)
+        self.engine = Engine(
+            backend=create_backend(config.backend, config.workers),
+            cache=SolutionCache(store=self.store),
+        )
+        self.queue = JobQueue()
+        self.scheduler = Scheduler(
+            self.queue,
+            self.engine,
+            on_claim=self._on_claim,
+            on_batch=self._on_batch,
+        )
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self._started_at = time.time()
+        self._last_heartbeat = 0.0
+        # Jobs that reached a terminal status outside the scheduler (cancel
+        # before claim, crash recovery out of attempts); drained by run() so
+        # they count toward --max-jobs like any other finished job.
+        self._finished_outside = 0
+        # Terminal spool records already accounted for, keyed by record
+        # mtime: a record rewritten later (id reused after a purge) no
+        # longer matches and is re-read instead of skipped forever.
+        self._spool_done: Dict[str, int] = {}
+        # Crash recovery of 'running' records runs once, at startup, before
+        # this daemon's own heartbeat exists; see poll_spool.
+        self._recover_running = not self._other_daemon_alive()
+
+    def _other_daemon_alive(self) -> bool:
+        """Best-effort check for a live sibling daemon on this root."""
+        try:
+            heartbeat = json.loads(
+                (Path(self.config.root) / "service.json").read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return False
+        if heartbeat.get("pid") == os.getpid():
+            return False
+        return heartbeat_is_fresh(heartbeat)
+
+    def _mark_spool_done(self, job_id: str) -> None:
+        """Remember a terminal record by id + current mtime."""
+        try:
+            self._spool_done[job_id] = _job_path(Path(self.config.root), job_id).stat().st_mtime_ns
+        except OSError:
+            self._spool_done.pop(job_id, None)
+
+    # -- spool synchronisation ----------------------------------------------------
+
+    def poll_spool(self) -> int:
+        """Pick up new job records and cancellation markers; returns new jobs.
+
+        Record filenames are the job ids, so files whose job the daemon
+        already tracks — and terminal records remembered from earlier scans
+        (validated by mtime, so a purged-and-resubmitted id is noticed) —
+        are skipped without being re-read; an idle daemon's poll cost stays
+        proportional to *new* work, not spool history.
+
+        ``running`` records are recovered (re-queued, or failed when out of
+        attempts) only during the startup scan, and only when no sibling
+        daemon's heartbeat is fresh: a steady-state daemon treats foreign
+        running records as owned elsewhere rather than stealing them.
+        """
+        root = Path(self.config.root)
+        picked_up = 0
+        records = sorted(_jobs_dir(root).glob("*.json"))
+        # Forget remembered records whose file was purged, both to bound the
+        # dict in a serve-forever daemon and so a later reuse of the job id
+        # is treated as the brand-new submission it is.
+        stems = {path.stem for path in records}
+        self._spool_done = {
+            job_id: mtime for job_id, mtime in self._spool_done.items() if job_id in stems
+        }
+        for path in records:
+            job_id = path.stem
+            if self.queue.get(job_id) is not None:
+                continue
+            done_mtime = self._spool_done.get(job_id)
+            if done_mtime is not None:
+                try:
+                    if path.stat().st_mtime_ns == done_mtime:
+                        continue
+                except OSError:
+                    continue  # record vanished (purged); forget it below
+            try:
+                job = Job.from_dict(json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                continue  # half-written or foreign file; retried next poll
+            if job.job_id != job_id:
+                continue  # foreign record; never treat it as this spool entry
+            if job.is_terminal:
+                self._mark_spool_done(job_id)  # finished before we ever ran it
+                continue
+            self._spool_done.pop(job_id, None)  # active again (id reuse)
+            if job.status == "running":
+                if not self._recover_running:
+                    continue  # another daemon may own it; never steal mid-run
+                # A previous daemon died mid-job.  The claim was persisted
+                # (attempts included), so the retry budget binds across
+                # crashes: out of attempts means failed, not an endless
+                # crash loop.
+                if job.attempts >= job.max_attempts:
+                    job.status = "failed"
+                    job.error = job.error or (
+                        f"daemon died during attempt {job.attempts}/{job.max_attempts}"
+                    )
+                    _write_job(root, job)
+                    self._mark_spool_done(job_id)
+                    self.jobs_failed += 1
+                    self._finished_outside += 1
+                    continue
+                job.status = "queued"
+            self.queue.submit(job)
+            _write_job(root, job)
+            picked_up += 1
+        self._recover_running = False  # startup scan is over
+        for marker in _jobs_dir(root).glob("*.cancel"):
+            self._consume_cancel_marker(marker)
+        return picked_up
+
+    def _consume_cancel_marker(self, marker: Path) -> None:
+        """Apply one ``.cancel`` marker; remove it once it can have no effect.
+
+        A marker for a still-active job is consumed after raising the cancel
+        flag (queued jobs flip to ``cancelled`` immediately, running jobs at
+        the next batch boundary).  A marker whose job record exists but is
+        not loaded yet (submit + cancel racing one poll) is *left in place*
+        for the next poll; only markers for finished or purged jobs are
+        removed as no-ops.
+        """
+        root = Path(self.config.root)
+        job_id = marker.stem
+        job = self.queue.get(job_id)
+        if job is None:
+            if job_id not in self._spool_done and _job_path(root, job_id).exists():
+                return  # record lands in the queue next poll; keep the marker
+        elif self.queue.cancel(job_id):
+            job = self.queue.get(job_id)
+            if job is not None:
+                # Persist immediately — terminal status for queued jobs, the
+                # raised cancel_requested flag for running ones — so the
+                # cancel survives a daemon crash before the job finishes.
+                _write_job(root, job)
+                if job.is_terminal:  # cancelled before it was ever claimed
+                    self._mark_spool_done(job_id)
+                    self.jobs_cancelled += 1
+                    self._finished_outside += 1
+        try:
+            marker.unlink()
+        except OSError:
+            pass
+
+    # -- scheduler hooks ----------------------------------------------------------
+
+    def _on_claim(self, job: Job) -> None:
+        """Persist the running record (attempts included) before execution.
+
+        This is what makes ``max_attempts`` bind across daemon crashes: a
+        poison job that kills the process leaves a ``running`` record with
+        its incremented attempt count, which the next daemon re-queues —
+        and eventually fails — instead of restarting from zero forever.
+        """
+        _write_job(Path(self.config.root), job)
+
+    def _on_batch(self, job: Job) -> None:
+        """Between-batch pulse: honour fresh cancel markers, stay alive.
+
+        Without this, a single long job would make the daemon deaf to
+        ``repro cancel`` and let its heartbeat go stale mid-execution.
+        """
+        marker = _cancel_path(Path(self.config.root), job.job_id)
+        if marker.exists():
+            self._consume_cancel_marker(marker)
+        self._heartbeat()
+
+    def _heartbeat(self, stopped: bool = False, force: bool = False) -> None:
+        """Write the liveness file; throttled, since it scans the store.
+
+        Computing the store section walks the blob directory, so idle polls
+        and per-batch pulses reuse the last heartbeat until at least one
+        poll interval has passed; job completions and shutdown force a
+        fresh one.
+        """
+        now = time.time()
+        if not force and now - self._last_heartbeat < max(1.0, self.config.poll_interval):
+            return
+        self._last_heartbeat = now
+        stats = self.engine.cache_stats()
+        entries, total_bytes = self.store.disk_usage()
+        payload = {
+            "pid": os.getpid(),
+            "started_at": self._started_at,
+            "updated_at": now,
+            "poll_interval": self.config.poll_interval,
+            "stopped": stopped,
+            "backend": self.engine.backend.name,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "store_hits": stats.store_hits,
+                "hit_rate": round(stats.hit_rate, 4),
+            },
+            "store": {
+                "entries": entries,
+                "bytes": total_bytes,
+                "stats": str(self.store.stats()),
+            },
+        }
+        atomic_write_text(
+            Path(self.config.root) / "service.json", json.dumps(payload, indent=2) + "\n"
+        )
+
+    # -- main loop ----------------------------------------------------------------
+
+    def step(self) -> Optional[Job]:
+        """One poll-and-execute cycle; returns the job run, if any."""
+        self.poll_spool()
+        job = self.scheduler.run_once()
+        if job is not None:
+            if job.status == "done":
+                self.jobs_done += 1
+            elif job.status == "failed":
+                self.jobs_failed += 1
+            elif job.status == "cancelled":
+                self.jobs_cancelled += 1
+            _write_job(Path(self.config.root), job)
+            if job.is_terminal:
+                self._mark_spool_done(job.job_id)
+        if job is not None or self._finished_outside:
+            # Spool records are now the source of truth for finished jobs;
+            # keeping the objects would grow a serve-forever daemon without
+            # bound.
+            self.queue.prune_terminal()
+        self._heartbeat(force=job is not None)
+        return job
+
+    def run(
+        self,
+        max_jobs: Optional[int] = None,
+        idle_exit: Optional[float] = None,
+    ) -> int:
+        """Serve until ``max_jobs`` executions finished or idle too long.
+
+        ``idle_exit`` is the number of seconds without runnable work after
+        which the daemon exits (``None`` serves forever).  Returns the
+        number of job executions that reached a terminal status.
+        """
+        finished = 0
+        idle_since: Optional[float] = None
+        while True:
+            job = self.step()
+            # Jobs terminalized outside the scheduler (cancelled while
+            # queued, failed by crash recovery) count as finished work too —
+            # otherwise a --max-jobs daemon whose only jobs were cancelled
+            # would spin forever.
+            outside = self._finished_outside
+            self._finished_outside = 0
+            finished += outside
+            if job is not None and job.is_terminal:
+                finished += 1
+            if max_jobs is not None and finished >= max_jobs:
+                break
+            if job is not None or outside:
+                idle_since = None
+                continue
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            if idle_exit is not None and now - idle_since >= idle_exit:
+                break
+            time.sleep(self.config.poll_interval)
+        self.engine.shutdown()
+        # A fresh-but-final heartbeat is not liveness; mark it stopped.
+        self._heartbeat(stopped=True, force=True)
+        return finished
+
+
+# -- client-side helpers (used by the CLI verbs) ---------------------------------------
+
+
+def submit_job(
+    root: Union[str, Path],
+    scenario: str,
+    params: Optional[Dict[str, object]] = None,
+    priority: int = 0,
+    max_attempts: int = 2,
+    job_id: Optional[str] = None,
+) -> Job:
+    """Validate and drop one job record into the spool; returns the job."""
+    params = dict(params or {})
+    scenario_spec(scenario).with_params(params)  # fail fast, before anything is written
+    root = Path(root)
+    _jobs_dir(root).mkdir(parents=True, exist_ok=True)
+    job = Job(
+        job_id=job_id or f"{scenario}-{uuid.uuid4().hex[:8]}",
+        scenario=scenario,
+        params=params,
+        priority=priority,
+        max_attempts=max_attempts,
+    )
+    if _job_path(root, job.job_id).exists():
+        raise ValueError(f"job id {job.job_id!r} already exists in {root}")
+    _write_job(root, job)
+    return job
+
+
+def request_cancel(root: Union[str, Path], job_id: str) -> bool:
+    """Drop a cancellation marker; True when the job can still be cancelled.
+
+    Missing and already-finished jobs return False without writing a marker
+    — reporting success for a job nothing can cancel would mislead the
+    operator and leave a stray marker in the spool.  A record that cannot
+    be parsed (caught mid-rewrite) is assumed active.
+    """
+    root = Path(root)
+    path = _job_path(root, job_id)
+    try:
+        job = Job.from_dict(json.loads(path.read_text(encoding="utf-8")))
+    except FileNotFoundError:
+        return False
+    except (OSError, json.JSONDecodeError, KeyError, ValueError):
+        job = None
+    if job is not None and job.is_terminal:
+        return False
+    atomic_write_text(_cancel_path(root, job_id), "")
+    return True
+
+
+def wait_for_job(
+    root: Union[str, Path], job_id: str, timeout: float = 60.0, interval: float = 0.2
+) -> Job:
+    """Poll the spool until the job reaches a terminal status.
+
+    Raises ``TimeoutError`` when the deadline passes first (the job record's
+    last observed state is attached to the message).
+    """
+    root = Path(root)
+    path = _job_path(root, job_id)
+    deadline = time.monotonic() + timeout
+    job: Optional[Job] = None
+    while True:
+        try:
+            job = Job.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            job = None  # missing or mid-rewrite; retry
+        if job is not None and job.is_terminal:
+            return job
+        remaining = deadline - time.monotonic()
+        # The read comes first and the loop exits *after* a final read, so a
+        # job finishing during the last sleep is still reported as finished.
+        if remaining <= 0:
+            break
+        time.sleep(min(interval, remaining))
+    state = "missing" if job is None else job.status
+    raise TimeoutError(f"job {job_id!r} still {state} after {timeout:.1f}s")
+
+
+def service_status(root: Union[str, Path]) -> Dict[str, object]:
+    """Snapshot of the whole service directory (daemon, jobs, store, cache).
+
+    Pure reads — safe to call while a daemon is serving, and meaningful when
+    none is (``daemon.alive`` is False and job records speak for
+    themselves).
+    """
+    root = Path(root)
+    heartbeat: Optional[Dict[str, object]] = None
+    try:
+        heartbeat = json.loads((root / "service.json").read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        heartbeat = None
+    alive = False
+    heartbeat_age: Optional[float] = None
+    if heartbeat is not None:
+        heartbeat_age = max(0.0, time.time() - float(heartbeat.get("updated_at", 0.0)))
+        alive = heartbeat_is_fresh(heartbeat)
+    jobs = _load_jobs(root) if _jobs_dir(root).exists() else []
+    counts: Dict[str, int] = {}
+    cache_totals = {"hits": 0, "misses": 0, "store_hits": 0}
+    for job in jobs:
+        counts[job.status] = counts.get(job.status, 0) + 1
+        cache = (job.result or {}).get("cache") if isinstance(job.result, dict) else None
+        if isinstance(cache, dict):
+            for key in cache_totals:
+                cache_totals[key] += int(cache.get(key, 0))
+    # Plain directory stats, NOT ResultStore: opening the store can rewrite
+    # its metadata (and clear blobs on a version mismatch), and a status
+    # command from an older checkout must never touch a live daemon's cache.
+    store_info: Optional[Dict[str, object]] = None
+    if (root / "store").exists():
+        entries, total = blob_disk_usage(root / "store" / "blobs")
+        store_info = {"entries": entries, "bytes": total}
+    return {
+        "root": str(root),
+        "daemon": {"alive": alive, "heartbeat_age": heartbeat_age, "heartbeat": heartbeat},
+        "jobs": {"counts": counts, "records": [job.to_dict() for job in jobs]},
+        "cache_totals": cache_totals,
+        "store": store_info,
+    }
+
+
+def gc_service(
+    root: Union[str, Path],
+    max_bytes: Optional[int] = None,
+    purge_jobs: bool = False,
+) -> Dict[str, int]:
+    """Evict the store down to ``max_bytes`` and optionally purge old jobs.
+
+    ``purge_jobs`` removes the records of terminal jobs (their results are
+    gone from ``repro status`` afterwards — the solved layouts themselves
+    stay in the store).  Returns ``{"evicted_blobs", "purged_jobs"}``.
+
+    Eviction works on the blob files directly (:func:`evict_lru_blobs`)
+    rather than opening a :class:`ResultStore` — opening rewrites metadata
+    and clears the blobs wholesale on a version mismatch, which a
+    maintenance command run from a different checkout must never do to a
+    live daemon's cache.
+    """
+    root = Path(root)
+    evicted = 0
+    if max_bytes is not None and (root / "store").exists():
+        evicted, _total = evict_lru_blobs(root / "store" / "blobs", max_bytes)
+    purged = 0
+    if purge_jobs and _jobs_dir(root).exists():
+        for job in _load_jobs(root):
+            if job.is_terminal:
+                try:
+                    _job_path(root, job.job_id).unlink()
+                    purged += 1
+                except OSError:
+                    pass
+    return {"evicted_blobs": evicted, "purged_jobs": purged}

@@ -1,0 +1,301 @@
+"""Scenario registry: programmatic workload generation for the service.
+
+The paper exercises exactly three tables' worth of workloads; a long-running
+service needs far more.  A *scenario* is a named, parameterised, seeded
+generator of :class:`~repro.engine.panels.PanelTask` batches — panel width,
+net count, sensitivity mix, Kth bound range, technology node, capacity
+pressure and solver effort are all knobs — so operators can submit diverse
+traffic (``repro submit --scenario dense-bus --param seed=9``) without
+writing code.
+
+Determinism contract: a scenario name plus its (possibly overridden)
+parameters fully determines the generated tasks, bit for bit.  Job records
+therefore store only ``(scenario, params)`` — tiny, JSON-safe — and the
+scheduler regenerates the tasks at execution time; identical submissions
+produce identical panel signatures and hit the result store.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Tuple
+
+from repro.engine.panels import PANEL_SOLVERS, PanelTask
+from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
+from repro.sino.panel import SinoProblem
+from repro.tech.itrs import ITRS_100NM, get_technology
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameters of one scenario (every field may be overridden at submit).
+
+    Attributes
+    ----------
+    name / description:
+        Registry identity and a one-line summary for ``repro status``.
+    technology:
+        Node name or alias (see :func:`repro.tech.itrs.get_technology`).
+        Lower-Vdd nodes proportionally tighten every Kth bound, mirroring
+        the paper's observation that crosstalk constraints bind harder as
+        technology scales.
+    panels:
+        Number of independent panel instances the scenario generates.
+    min_segments / max_segments:
+        Per-panel net-segment count range (drawn uniformly).
+    sensitivity_rate:
+        Probability that an unordered segment pair is mutually sensitive.
+    kth_low / kth_high:
+        Range the per-segment Kth bounds are drawn from (before the
+        technology scaling); lower bounds force more shields.
+    capacity_slack:
+        Region track capacity as a multiple of the segment count.  Values
+        below ~1.3 leave no room for shields and create overflow pressure;
+        0 disables the capacity limit entirely.
+    solver / effort / chains:
+        Forwarded to :class:`~repro.engine.panels.PanelTask`; ``chains > 1``
+        attaches a multi-chain annealing schedule.
+    seed:
+        Base seed; panel ``i`` derives its structure and task seed from it.
+    """
+
+    name: str
+    description: str
+    technology: str = ITRS_100NM.name
+    panels: int = 6
+    min_segments: int = 6
+    max_segments: int = 10
+    sensitivity_rate: float = 0.3
+    kth_low: float = 0.8
+    kth_high: float = 1.6
+    capacity_slack: float = 1.5
+    solver: str = "sino"
+    effort: str = "greedy"
+    chains: int = 1
+    seed: int = 2002
+
+    def __post_init__(self) -> None:
+        if self.panels < 1:
+            raise ValueError(f"panels must be positive, got {self.panels}")
+        if not 1 <= self.min_segments <= self.max_segments:
+            raise ValueError(
+                "need 1 <= min_segments <= max_segments, "
+                f"got {self.min_segments}..{self.max_segments}"
+            )
+        if not 0.0 <= self.sensitivity_rate <= 1.0:
+            raise ValueError(f"sensitivity_rate must lie in [0, 1], got {self.sensitivity_rate}")
+        if not 0.0 < self.kth_low <= self.kth_high:
+            raise ValueError(f"need 0 < kth_low <= kth_high, got {self.kth_low}..{self.kth_high}")
+        if self.capacity_slack < 0.0:
+            raise ValueError(f"capacity_slack must be non-negative, got {self.capacity_slack}")
+        if self.solver not in PANEL_SOLVERS:
+            raise ValueError(f"solver must be one of {PANEL_SOLVERS}, got {self.solver!r}")
+        if self.effort not in EFFORT_LEVELS:
+            raise ValueError(f"effort must be one of {EFFORT_LEVELS}, got {self.effort!r}")
+        if self.chains < 1:
+            raise ValueError(f"chains must be >= 1, got {self.chains}")
+        get_technology(self.technology)  # fail fast on unknown nodes
+
+    def with_params(self, params: Dict[str, object]) -> "ScenarioSpec":
+        """A copy with submit-time overrides applied (unknown keys rejected).
+
+        Values are type-checked against the field they override, so a bad
+        submission fails here — before a job record is written — rather than
+        burning the daemon's retry budget on a job that can never run.
+        """
+        if not params:
+            return self
+        known = {spec_field.name for spec_field in fields(self)} - {"name", "description"}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario parameter(s) {unknown}; overridable: {sorted(known)}"
+            )
+        coerced = {key: self._coerce(key, value) for key, value in params.items()}
+        return replace(self, **coerced)  # type: ignore[arg-type]
+
+    def _coerce(self, key: str, value: object) -> object:
+        """Type-check one override against the field it replaces."""
+        current = getattr(self, key)
+        if isinstance(current, bool) or isinstance(value, bool):
+            raise ValueError(f"scenario parameter {key!r} does not accept {value!r}")
+        if isinstance(current, int):
+            if not isinstance(value, int):
+                raise ValueError(f"scenario parameter {key!r} must be an integer, got {value!r}")
+            return value
+        if isinstance(current, float):
+            if not isinstance(value, (int, float)):
+                raise ValueError(f"scenario parameter {key!r} must be a number, got {value!r}")
+            return float(value)
+        if not isinstance(value, str):
+            raise ValueError(f"scenario parameter {key!r} must be a string, got {value!r}")
+        return value
+
+
+def generate_scenario(name: str, params: Dict[str, object] | None = None) -> List[PanelTask]:
+    """Generate the panel tasks of a registered scenario, deterministically.
+
+    Panel ``i`` gets segment ids in a disjoint ``i * 1000`` block so tasks
+    stay distinguishable in panel keys and diagnostics, and a derived task
+    seed ``seed + i`` so annealing panels are independent but reproducible.
+    """
+    spec = scenario_spec(name).with_params(dict(params or {}))
+    technology = get_technology(spec.technology)
+    # Stylised node effect: bounds scale with Vdd relative to the paper's node.
+    bound_scale = technology.vdd / ITRS_100NM.vdd
+    rng = random.Random(spec.seed)
+    tasks: List[PanelTask] = []
+    anneal = AnnealConfig(chains=spec.chains) if spec.chains > 1 else None
+    for index in range(spec.panels):
+        count = rng.randint(spec.min_segments, spec.max_segments)
+        segments = [index * 1000 + offset for offset in range(count)]
+        sensitivity: Dict[int, set] = {segment: set() for segment in segments}
+        for position, segment in enumerate(segments):
+            for other in segments[position + 1 :]:
+                if rng.random() < spec.sensitivity_rate:
+                    sensitivity[segment].add(other)
+        kth = {
+            segment: bound_scale * rng.uniform(spec.kth_low, spec.kth_high)
+            for segment in segments
+        }
+        capacity = 0 if spec.capacity_slack == 0.0 else math.ceil(count * spec.capacity_slack)
+        problem = SinoProblem.build(
+            segments=segments,
+            sensitivity=sensitivity,
+            kth=kth,
+            default_kth=bound_scale * spec.kth_high,
+            capacity=capacity,
+        )
+        tasks.append(
+            PanelTask(
+                key=((index, 0), "h"),
+                problem=problem,
+                solver=spec.solver,
+                effort=spec.effort,
+                seed=spec.seed + index,
+                anneal=anneal,
+            )
+        )
+    return tasks
+
+
+# -- registry --------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry (name must be unused)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios() -> List[Tuple[str, str]]:
+    """(name, description) of every registered scenario, sorted by name."""
+    return [(spec.name, spec.description) for _, spec in sorted(_REGISTRY.items())]
+
+
+#: Names of the built-in scenarios (populated below).
+register_scenario(
+    ScenarioSpec(
+        name="smoke",
+        description="tiny greedy batch for health checks and CI",
+        panels=3,
+        min_segments=4,
+        max_segments=6,
+        sensitivity_rate=0.4,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="uniform-medium",
+        description="medium panels with the paper's typical sensitivity",
+        panels=8,
+        min_segments=8,
+        max_segments=12,
+        sensitivity_rate=0.3,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="dense-bus",
+        description="bus-like panels: high sensitivity, tight bounds, annealed",
+        panels=6,
+        min_segments=10,
+        max_segments=14,
+        sensitivity_rate=0.8,
+        kth_low=0.5,
+        kth_high=0.9,
+        effort="anneal-fast",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="mixed-width",
+        description="widely varying panel widths (load-balance stressor)",
+        panels=10,
+        min_segments=3,
+        max_segments=18,
+        sensitivity_rate=0.4,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="capacity-stress",
+        description="capacity barely above the segment count: overflow pressure",
+        panels=6,
+        min_segments=8,
+        max_segments=12,
+        sensitivity_rate=0.5,
+        capacity_slack=1.1,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="node-70nm",
+        description="aggressive 70 nm node: proportionally tighter Kth bounds",
+        technology="70nm",
+        panels=6,
+        min_segments=6,
+        max_segments=10,
+        sensitivity_rate=0.5,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="node-130nm",
+        description="relaxed 130 nm node: looser bounds, fewer shields",
+        technology="130nm",
+        panels=6,
+        min_segments=6,
+        max_segments=10,
+        sensitivity_rate=0.5,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="ordering-baseline",
+        description="net-ordering-only solves (the ID+NO per-region step)",
+        solver="ordering",
+        panels=8,
+        min_segments=6,
+        max_segments=12,
+        sensitivity_rate=0.3,
+    )
+)
+
+SCENARIO_NAMES: Tuple[str, ...] = tuple(sorted(_REGISTRY))

@@ -1,0 +1,178 @@
+"""Job scheduler: turns queued jobs into engine dispatches.
+
+The scheduler owns the execution side of the service: it claims the
+highest-priority job from the :class:`~repro.service.queue.JobQueue`,
+regenerates the job's scenario into concrete panel tasks, groups them into
+*compatible batches* — tasks sharing a (solver, effort) pair, which one
+backend fan-out can dispatch together — and runs each batch through the
+shared :class:`~repro.engine.panels.Engine`, so every solve goes through the
+two-tier solution cache and lands in the persistent store.
+
+Failure handling is per job: an execution that raises is recorded and the
+job requeued until its ``max_attempts`` run out (``failed`` thereafter).
+Cancellation is cooperative: the flag is checked between batches, so a
+cancel lands within one batch's latency rather than one job's.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import CacheStats
+from repro.engine.panels import Engine, PanelTask
+from repro.service.queue import Job, JobQueue
+from repro.service.scenarios import generate_scenario
+
+
+@dataclass
+class JobOutcome:
+    """Summary of one finished job execution (JSON-safe via ``to_dict``)."""
+
+    panels: int = 0
+    batches: int = 0
+    shields: int = 0
+    tracks: int = 0
+    valid_panels: int = 0
+    runtime_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "panels": self.panels,
+            "batches": self.batches,
+            "shields": self.shields,
+            "tracks": self.tracks,
+            "valid_panels": self.valid_panels,
+            "runtime_seconds": round(self.runtime_seconds, 6),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "store_hits": self.cache.store_hits,
+            },
+        }
+
+
+def batch_compatible(
+    tasks: Sequence[PanelTask], max_size: Optional[int] = None
+) -> List[List[PanelTask]]:
+    """Group tasks into dispatch batches of one (solver, effort) pair each.
+
+    Batches keep first-appearance order so a scenario's cheap greedy panels
+    are not starved behind its annealed ones (or vice versa); within a batch
+    the engine sorts by key, so the grouping never affects results.
+
+    ``max_size`` splits each group into consecutive runs of at most that
+    many tasks.  Since a scenario's tasks usually share one (solver,
+    effort) pair, an unbounded grouping would collapse a whole job into a
+    single batch — leaving the scheduler's between-batch cancellation and
+    heartbeat hooks nothing to fire between.
+    """
+    if max_size is not None and max_size < 1:
+        raise ValueError(f"max_size must be positive, got {max_size}")
+    groups: Dict[Tuple[str, str], List[PanelTask]] = {}
+    for task in tasks:
+        groups.setdefault((task.solver, task.effort), []).append(task)
+    if max_size is None:
+        return list(groups.values())
+    return [
+        group[start : start + max_size]
+        for group in groups.values()
+        for start in range(0, len(group), max_size)
+    ]
+
+
+class Scheduler:
+    """Drain a job queue through an engine, one job at a time.
+
+    Parameters
+    ----------
+    queue:
+        The queue to claim jobs from.
+    engine:
+        Backend + two-tier cache every batch is dispatched through.  A store
+        attached to the engine's cache is what makes finished work durable.
+    on_claim:
+        Called with the job right after it is claimed (status ``running``,
+        attempt count already incremented) and *before* execution starts.
+        The daemon persists the running record here, so a crash mid-job
+        leaves durable evidence and ``max_attempts`` binds across restarts.
+    on_batch:
+        Called with the job between dispatch batches.  The daemon polls
+        cancellation markers and refreshes its heartbeat here, so both work
+        while a long job is executing, not just between jobs.
+    batch_size:
+        Upper bound on tasks per dispatch batch.  Bounding it is what gives
+        a homogeneous job (one solver/effort across all its tasks — the
+        common case) multiple batch boundaries, so cancellation lands
+        within ``batch_size`` panels rather than after the whole job.
+        ``None`` dispatches each compatible group whole.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        engine: Optional[Engine] = None,
+        on_claim: Optional[Callable[[Job], None]] = None,
+        on_batch: Optional[Callable[[Job], None]] = None,
+        batch_size: Optional[int] = 8,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.queue = queue
+        self.engine = engine or Engine()
+        self.on_claim = on_claim
+        self.on_batch = on_batch
+        self.batch_size = batch_size
+
+    def run_once(self) -> Optional[Job]:
+        """Claim and execute one job; returns it, or ``None`` when idle."""
+        job = self.queue.pop()
+        if job is None:
+            return None
+        if self.on_claim is not None:
+            self.on_claim(job)
+        start = time.perf_counter()
+        stats_before = self.engine.cache_stats()
+        try:
+            outcome = self._execute(job)
+        except Exception as error:  # noqa: BLE001 — any job error means retry/fail
+            detail = "".join(traceback.format_exception_only(type(error), error)).strip()
+            self.queue.fail(job, detail)
+            return job
+        outcome.runtime_seconds = time.perf_counter() - start
+        outcome.cache = self.engine.cache_stats() - stats_before
+        self.queue.finish(job, result=outcome.to_dict())
+        return job
+
+    def _execute(self, job: Job) -> JobOutcome:
+        tasks = generate_scenario(job.scenario, job.params)
+        outcome = JobOutcome()
+        for batch in batch_compatible(tasks, max_size=self.batch_size):
+            if self.on_batch is not None:
+                self.on_batch(job)
+            if job.cancel_requested:
+                break
+            solutions = self.engine.solve_tasks(batch)
+            outcome.batches += 1
+            for solution in solutions.values():
+                outcome.panels += 1
+                outcome.shields += solution.num_shields
+                outcome.tracks += solution.num_tracks
+                outcome.valid_panels += int(solution.is_valid())
+        return outcome
+
+    def drain(self, max_jobs: Optional[int] = None) -> List[Job]:
+        """Run jobs until the queue is empty (or ``max_jobs`` were claimed)."""
+        finished: List[Job] = []
+        while max_jobs is None or len(finished) < max_jobs:
+            job = self.run_once()
+            if job is None:
+                break
+            finished.append(job)
+        return finished
+
+    def __repr__(self) -> str:
+        return f"Scheduler(queue={self.queue!r}, engine={self.engine!r})"

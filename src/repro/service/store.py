@@ -1,0 +1,370 @@
+"""Disk-backed, content-addressed store of solved panel layouts.
+
+The in-process :class:`~repro.engine.cache.SolutionCache` evaporates when the
+CLI exits, so every new process re-anneals panels the previous run already
+solved.  :class:`ResultStore` persists layouts on disk, keyed by the same
+content signature (:func:`repro.engine.signature.panel_signature`), and plugs
+in as the cache's second tier: a memory miss falls through to the store, a
+store hit is promoted back into memory, and every fill is written through.
+
+On-disk format (see DESIGN.md §"Service layer")::
+
+    <root>/
+        store.json            # {"format_version", "signature_version"}
+        blobs/<sig[:2]>/<sig>.json
+
+Each blob holds one layout as JSON (``null`` marks a shield track) together
+with the signature scheme version it was hashed under.  Durability rules:
+
+* **Atomic writes** — blobs and metadata are written to a temporary file in
+  the same directory and ``os.replace``-d into place, so a crash mid-write
+  can never leave a half-written blob where a reader finds it.
+* **Corruption safety** — a blob that fails to parse or fails its integrity
+  checks is dropped (and counted) rather than served; the solve simply
+  happens again.
+* **Versioning** — the store records both its own ``FORMAT_VERSION`` and the
+  engine's :data:`~repro.engine.signature.SIGNATURE_VERSION`.  A store
+  written under either older version is cleared on open: signatures hashed
+  under another scheme can never be looked up again, so stale blobs are dead
+  weight, and a cache may always be rebuilt from nothing.
+* **LRU eviction** — blob mtimes are refreshed on every hit; when the store
+  exceeds ``max_bytes`` the oldest blobs are evicted until it fits.
+
+Multiple processes may share one store: writes are atomic renames, reads
+tolerate concurrent eviction, and content-addressing makes double-writes of
+the same signature idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.engine.signature import SIGNATURE_VERSION
+
+#: Version of the on-disk layout described above; bump on incompatible change.
+FORMAT_VERSION = 1
+
+#: Name of the store metadata file at the root.
+_META_NAME = "store.json"
+
+Layout = Tuple[Optional[int], ...]
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Traffic and maintenance counters of a :class:`ResultStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+
+    def __sub__(self, other: "StoreStats") -> "StoreStats":
+        return StoreStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            writes=self.writes - other.writes,
+            evictions=self.evictions - other.evictions,
+            corrupt_dropped=self.corrupt_dropped - other.corrupt_dropped,
+        )
+
+    def __str__(self) -> str:
+        parts = f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+        if self.evictions or self.corrupt_dropped:
+            parts += f", {self.evictions} evicted, {self.corrupt_dropped} corrupt"
+        return parts
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def blob_disk_usage(blobs_dir: Path) -> Tuple[int, int]:
+    """(entry count, total bytes) under a blobs directory, one unsorted walk.
+
+    Module-level so read-only callers (``repro status``) can measure a store
+    without opening a :class:`ResultStore` — opening rewrites metadata and
+    clears blobs on a version mismatch.
+    """
+    entries = 0
+    total = 0
+    for path in blobs_dir.glob("*/*.json") if blobs_dir.exists() else ():
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+        entries += 1
+    return entries, total
+
+
+def evict_lru_blobs(blobs_dir: Path, max_bytes: int) -> Tuple[int, int]:
+    """Delete oldest-mtime blobs under ``blobs_dir`` until it fits ``max_bytes``.
+
+    Pure file-level maintenance — no store metadata is read or written, so
+    callers (``repro gc``) can shrink a store owned by *any* format or
+    signature version without risking the version-mismatch clearing that
+    opening a :class:`ResultStore` performs.  Returns ``(evicted, total)``:
+    blobs removed and the remaining byte total.
+    """
+    entries = []
+    total = 0
+    for path in sorted(blobs_dir.glob("*/*.json")) if blobs_dir.exists() else []:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, path, stat.st_size))
+        total += stat.st_size
+    entries.sort(key=lambda entry: (entry[0], entry[1].name))
+    evicted = 0
+    for _mtime, path, size in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+    return evicted, total
+
+
+class ResultStore:
+    """Persistent second cache tier for panel layouts.
+
+    Implements the duck-typed store protocol :class:`SolutionCache` expects —
+    :meth:`get_layout` / :meth:`put_layout` — plus the maintenance surface
+    (:meth:`gc`, :meth:`total_bytes`, :meth:`signatures`) the service daemon
+    and the ``repro gc`` verb use.
+
+    Parameters
+    ----------
+    root:
+        Directory of the store; created (with metadata) if absent.
+    max_bytes:
+        Soft size cap.  Exceeding it on a write triggers LRU eviction down
+        to the cap.  ``None`` never evicts on write (``gc`` may still be
+        called with an explicit cap).
+    """
+
+    def __init__(self, root: Union[str, Path], max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._evictions = 0
+        self._corrupt = 0
+        self._open()
+        # Running size estimate so capped writes stay O(1): scanned once at
+        # open, bumped per write, resynced to exact by every gc() pass.
+        self._approx_bytes = self.total_bytes() if max_bytes is not None else 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _open(self) -> None:
+        """Create or validate the on-disk store, clearing incompatible ones."""
+        blobs = self.root / "blobs"
+        meta_path = self.root / _META_NAME
+        blobs.mkdir(parents=True, exist_ok=True)
+        meta = None
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                meta = None
+        current = {
+            "format_version": FORMAT_VERSION,
+            "signature_version": SIGNATURE_VERSION,
+        }
+        if meta != current:
+            if meta is not None:
+                # Another format or signature scheme: every blob is dead weight.
+                self._evictions += self._clear_blobs()
+            atomic_write_text(meta_path, json.dumps(current, indent=2) + "\n")
+
+    def _clear_blobs(self) -> int:
+        removed = 0
+        for path in self._blob_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # -- paths --------------------------------------------------------------------
+
+    def _blob_path(self, signature: str) -> Path:
+        return self.root / "blobs" / signature[:2] / f"{signature}.json"
+
+    def _blob_paths(self) -> List[Path]:
+        return sorted((self.root / "blobs").glob("*/*.json"))
+
+    # -- store protocol (used by SolutionCache) -----------------------------------
+
+    def get_layout(self, signature: str) -> Optional[Layout]:
+        """The stored layout for ``signature``, or ``None`` on a miss.
+
+        Hits refresh the blob's mtime (the LRU clock).  Unreadable or
+        inconsistent blobs are dropped and counted as corruption, never
+        served.
+        """
+        path = self._blob_path(signature)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._drop_corrupt(path)
+            return None
+        layout = self._validate_payload(signature, payload)
+        if layout is None:
+            self._drop_corrupt(path)
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # concurrently evicted; the layout we read is still good
+        with self._lock:
+            self._hits += 1
+        return layout
+
+    def _validate_payload(self, signature: str, payload: object) -> Optional[Layout]:
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("signature") != signature:
+            return None
+        if payload.get("signature_version") != SIGNATURE_VERSION:
+            return None
+        layout = payload.get("layout")
+        if not isinstance(layout, list):
+            return None
+        if not all(
+            entry is None or (isinstance(entry, int) and not isinstance(entry, bool))
+            for entry in layout
+        ):
+            return None
+        return tuple(layout)
+
+    def _drop_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        with self._lock:
+            self._misses += 1
+            self._corrupt += 1
+
+    def drop_layout(self, signature: str) -> None:
+        """Remove a blob a caller found unusable despite passing our checks.
+
+        The cache calls this when a stored layout fails to re-bind to its
+        problem (content poisoned under a valid shape); counted as corrupt.
+        """
+        try:
+            self._blob_path(signature).unlink()
+        except OSError:
+            pass
+        with self._lock:
+            self._corrupt += 1
+
+    def put_layout(self, signature: str, layout: Layout) -> None:
+        """Persist one layout (idempotent; atomic on disk).
+
+        With a size cap, eviction is only attempted once the running size
+        estimate exceeds it — a full directory scan per write would make a
+        capped store quadratic.
+        """
+        path = self._blob_path(signature)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "signature": signature,
+            "signature_version": SIGNATURE_VERSION,
+            "layout": list(layout),
+        }
+        text = json.dumps(payload)
+        atomic_write_text(path, text)
+        with self._lock:
+            self._writes += 1
+            self._approx_bytes += len(text)
+            over_cap = self.max_bytes is not None and self._approx_bytes > self.max_bytes
+        if over_cap:
+            self.gc(self.max_bytes)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blob_paths())
+
+    def __contains__(self, signature: str) -> bool:
+        return self._blob_path(signature).exists()
+
+    def signatures(self) -> List[str]:
+        """Signatures of every stored blob (sorted)."""
+        return sorted(path.stem for path in self._blob_paths())
+
+    def total_bytes(self) -> int:
+        """Total size of all blobs on disk."""
+        return self.disk_usage()[1]
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """(entry count, total bytes) in one unsorted directory walk.
+
+        The daemon heartbeat reports both every cycle; computing them
+        together halves the I/O of the separate ``len`` / ``total_bytes``
+        calls on large stores.
+        """
+        return blob_disk_usage(self.root / "blobs")
+
+    def gc(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used blobs until the store fits ``max_bytes``.
+
+        Returns the number of blobs evicted.  ``max_bytes=None`` uses the
+        store's configured cap and is a no-op when the store is uncapped.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0
+        evicted, total = evict_lru_blobs(self.root / "blobs", cap)
+        with self._lock:
+            self._approx_bytes = total  # resync the estimate to exact
+            if evicted:
+                self._evictions += evicted
+        return evicted
+
+    def clear(self) -> int:
+        """Drop every blob (counters kept); returns the number removed."""
+        removed = self._clear_blobs()
+        with self._lock:
+            self._evictions += removed
+            self._approx_bytes = 0
+        return removed
+
+    def stats(self) -> StoreStats:
+        """Current counters as an immutable snapshot."""
+        with self._lock:
+            return StoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                evictions=self._evictions,
+                corrupt_dropped=self._corrupt,
+            )
+
+    def __repr__(self) -> str:
+        return f"ResultStore(root={str(self.root)!r}, entries={len(self)}, stats={self.stats()})"

@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -49,6 +51,33 @@ class TestParser:
             ["characterize", "--samples", "16", "--output", str(tmp_path / "t.json")]
         )
         assert args.samples == 16
+
+    def test_store_argument(self, tmp_path):
+        args = build_parser().parse_args(["compare", "--store", str(tmp_path / "s")])
+        assert args.store == tmp_path / "s"
+        args = build_parser().parse_args(["tables", "--store", str(tmp_path / "s")])
+        assert args.store == tmp_path / "s"
+
+    def test_service_verbs_parse(self, tmp_path):
+        root = str(tmp_path / "svc")
+        args = build_parser().parse_args(
+            ["serve", "--root", root, "--max-jobs", "2", "--idle-exit", "5", "--poll", "0.1"]
+        )
+        assert args.command == "serve" and args.max_jobs == 2
+        args = build_parser().parse_args(
+            ["submit", "--root", root, "--scenario", "smoke",
+             "--param", "seed=9", "--priority", "3"]
+        )
+        assert args.scenario == "smoke" and args.param == ["seed=9"]
+        args = build_parser().parse_args(["status", "--root", root, "--json"])
+        assert args.json is True
+        args = build_parser().parse_args(["cancel", "--root", root, "some-job"])
+        assert args.job_id == "some-job"
+        args = build_parser().parse_args(["gc", "--root", root, "--max-mb", "8", "--purge-jobs"])
+        assert args.purge_jobs is True
+        # --root is mandatory for every service verb.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
 
 
 class TestCommands:
@@ -106,3 +135,95 @@ class TestCommands:
         table = LskTable.from_dict(data)
         assert table.num_entries == 100
         assert "LSK budget" in capsys.readouterr().out
+
+    def test_compare_command_with_store_warm_starts(self, tmp_path, capsys):
+        command = [
+            "compare", "--circuit", "ibm01", "--rate", "0.3",
+            "--scale", "0.01", "--seed", "3",
+            "--store", str(tmp_path / "store"),
+        ]
+        assert main(command) == 0
+        cold = capsys.readouterr().out
+        assert "persistent store:" in cold and "cold solves" in cold
+        # A fresh engine (new in-memory cache) over the same store directory:
+        # every panel must come from disk, none may be re-solved.
+        assert main(command) == 0
+        warm = capsys.readouterr().out
+        assert "zero redundant solves" in warm
+        assert "from disk]" in warm  # store hits surfaced per flow and in total
+
+    @pytest.mark.parametrize("verb", ["compare", "tables"])
+    def test_store_conflicts_with_no_cache(self, tmp_path, verb):
+        with pytest.raises(SystemExit):
+            main([verb, "--scale", "0.01", "--no-cache", "--store", str(tmp_path / "s")])
+
+
+class TestServiceCommands:
+    def test_submit_list_needs_no_root(self, capsys):
+        exit_code = main(["submit", "--list"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output and "dense-bus" in output
+
+    def test_submit_requires_scenario_and_root(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["submit", "--root", str(tmp_path / "svc")])
+        with pytest.raises(SystemExit):
+            main(["submit", "--scenario", "smoke"])
+
+    def test_submit_operator_errors_are_clean(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        with pytest.raises(SystemExit):
+            main(["submit", "--root", root, "--scenario", "smoke", "--param", "not-a-pair"])
+        with pytest.raises(SystemExit, match="submit rejected"):
+            main(["submit", "--root", root, "--scenario", "no-such-scenario"])
+        with pytest.raises(SystemExit, match="submit rejected"):
+            main(["submit", "--root", root, "--scenario", "smoke", "--param", "panels=0"])
+        with pytest.raises(SystemExit, match="submit rejected"):
+            main(["submit", "--root", root, "--scenario", "smoke", "--param", "panels=abc"])
+        with pytest.raises(SystemExit, match="submit rejected"):
+            main(["submit", "--root", root, "--scenario", "smoke", "--param", "seed=1.5"])
+
+    def test_submit_wait_without_daemon_times_out_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            ["submit", "--root", str(tmp_path / "svc"), "--scenario", "smoke",
+             "--wait", "0.3"]
+        )
+        assert exit_code == 1
+        assert "is a daemon serving" in capsys.readouterr().out
+
+    def test_serve_submit_status_gc_loop(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(["submit", "--root", root, "--scenario", "smoke", "--param", "seed=5"]) == 0
+        submitted = capsys.readouterr().out
+        job_id = submitted.split()[1]
+        assert main(["serve", "--root", root, "--max-jobs", "1", "--idle-exit", "0.1",
+                     "--poll", "0.05"]) == 0
+        assert "served 1 job(s)" in capsys.readouterr().out
+        assert main(["status", "--root", root]) == 0
+        status = capsys.readouterr().out
+        assert job_id in status and "1 done" in status
+        assert "cache totals:" in status and "store:" in status
+        assert "daemon: not running" in status  # clean exit, despite fresh heartbeat
+        # An in-flight heartbeat (stopped not yet set) reads as a live daemon.
+        heartbeat_path = Path(root) / "service.json"
+        heartbeat = json.loads(heartbeat_path.read_text())
+        heartbeat["stopped"] = False
+        heartbeat["updated_at"] = time.time()
+        heartbeat_path.write_text(json.dumps(heartbeat))
+        assert main(["status", "--root", root]) == 0
+        status = capsys.readouterr().out
+        assert "daemon: running" in status and "daemon cache:" in status
+        assert main(["status", "--root", root, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs"]["counts"] == {"done": 1}
+        assert main(["gc", "--root", root, "--purge-jobs"]) == 0
+        assert "purged 1 job(s)" in capsys.readouterr().out
+
+    def test_cancel_command(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        main(["submit", "--root", root, "--scenario", "smoke"])
+        job_id = capsys.readouterr().out.split()[1]
+        assert main(["cancel", "--root", root, job_id]) == 0
+        assert "cancellation requested" in capsys.readouterr().out
+        assert main(["cancel", "--root", root, "nope"]) == 1

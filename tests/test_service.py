@@ -1,0 +1,798 @@
+"""Tests for the repro.service layer (store, queue, scheduler, daemon).
+
+The warm-start tests at the bottom enforce the subsystem's headline
+guarantee: a second run over the same workload with the persistent store
+enabled performs *zero* redundant panel solves — in-process with a fresh
+cache, across daemon restarts, and across real CLI processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import CacheStats, Engine, SolutionCache
+from repro.engine.signature import SIGNATURE_VERSION
+from repro.gsino.config import GsinoConfig
+from repro.gsino.pipeline import compare_flows
+from repro.service import (
+    SCENARIO_NAMES,
+    Job,
+    JobQueue,
+    ResultStore,
+    Scheduler,
+    ServiceConfig,
+    ServiceDaemon,
+    batch_compatible,
+    gc_service,
+    generate_scenario,
+    request_cancel,
+    scenario_spec,
+    service_status,
+    submit_job,
+    wait_for_job,
+)
+from repro.service.store import FORMAT_VERSION
+
+
+def _smoke_tasks():
+    return generate_scenario("smoke")
+
+
+# -- ResultStore ---------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_round_trip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        layout = (0, None, 1, None, 2)
+        assert store.get_layout("ab" + "0" * 62) is None
+        store.put_layout("ab" + "0" * 62, layout)
+        assert store.get_layout("ab" + "0" * 62) == layout
+        stats = store.stats()
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert len(store) == 1
+        assert store.total_bytes() > 0
+
+    def test_reopen_preserves_blobs(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(root).put_layout("cd" + "1" * 62, (3, None, 4))
+        reopened = ResultStore(root)
+        assert reopened.get_layout("cd" + "1" * 62) == (3, None, 4)
+
+    def test_double_write_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_layout("ee" + "2" * 62, (1, 2))
+        store.put_layout("ee" + "2" * 62, (1, 2))
+        assert len(store) == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{not json",
+            json.dumps(
+                {"signature": "wrong", "signature_version": SIGNATURE_VERSION, "layout": [1]}
+            ),
+            json.dumps({"signature_version": SIGNATURE_VERSION, "layout": [1]}),
+            json.dumps({"signature": None, "layout": "nope"}),
+            json.dumps([1, 2, 3]),
+        ],
+    )
+    def test_corrupted_blob_is_dropped_not_served(self, tmp_path, payload):
+        store = ResultStore(tmp_path / "store")
+        signature = "ff" + "3" * 62
+        store.put_layout(signature, (5, None))
+        store._blob_path(signature).write_text(payload)
+        assert store.get_layout(signature) is None
+        assert store.stats().corrupt_dropped == 1
+        assert signature not in store  # the bad blob is gone from disk
+
+    def test_bad_layout_entries_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        signature = "aa" + "4" * 62
+        path = store._blob_path(signature)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "signature": signature,
+                    "signature_version": SIGNATURE_VERSION,
+                    "layout": [1, "shield", 2],
+                }
+            )
+        )
+        assert store.get_layout(signature) is None
+        assert store.stats().corrupt_dropped == 1
+
+    def test_signature_version_mismatch_clears_store(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.put_layout("bb" + "5" * 62, (7,))
+        meta = json.loads((root / "store.json").read_text())
+        assert meta == {
+            "format_version": FORMAT_VERSION,
+            "signature_version": SIGNATURE_VERSION,
+        }
+        meta["signature_version"] = SIGNATURE_VERSION - 1
+        (root / "store.json").write_text(json.dumps(meta))
+        reopened = ResultStore(root)
+        assert len(reopened) == 0
+        assert reopened.stats().evictions == 1
+        # The metadata was rewritten to the current versions.
+        assert json.loads((root / "store.json").read_text())["signature_version"] == (
+            SIGNATURE_VERSION
+        )
+
+    def test_lru_eviction_by_size(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        signatures = [f"{i:02d}" + "6" * 62 for i in range(4)]
+        for index, signature in enumerate(signatures):
+            store.put_layout(signature, tuple(range(8)))
+            os.utime(store._blob_path(signature), (1000 + index, 1000 + index))
+        blob_size = store.total_bytes() // 4
+        evicted = store.gc(max_bytes=2 * blob_size)
+        assert evicted == 2
+        assert store.signatures() == sorted(signatures[2:])  # the two oldest went
+
+    def test_hit_refreshes_lru_clock(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        signatures = [f"{i:02d}" + "7" * 62 for i in range(3)]
+        for index, signature in enumerate(signatures):
+            store.put_layout(signature, (index,))
+            os.utime(store._blob_path(signature), (2000 + index, 2000 + index))
+        assert store.get_layout(signatures[0]) is not None  # oldest becomes newest
+        blob_size = store.total_bytes() // 3
+        store.gc(max_bytes=2 * blob_size)
+        assert signatures[0] in store
+        assert signatures[1] not in store
+
+    def test_write_cap_triggers_eviction(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_bytes=1)
+        store.put_layout("cc" + "8" * 62, (1, 2, 3))
+        store.put_layout("dd" + "8" * 62, (4, 5, 6))
+        assert len(store) <= 1
+        assert store.stats().evictions >= 1
+
+
+# -- two-tier SolutionCache ----------------------------------------------------------
+
+
+class TestTieredCache:
+    def test_store_hit_promotes_and_counts(self, tmp_path, random_sino_problem):
+        problem = random_sino_problem(5, 0.4, 2.0, seed=3)
+        store = ResultStore(tmp_path / "store")
+        first = SolutionCache(store=store)
+        engine = Engine(cache=first)
+        solution = engine.solve_panel(problem)
+        assert first.stats() == CacheStats(misses=1)
+
+        second = SolutionCache(store=store)  # fresh process, same store
+        warm = Engine(cache=second)
+        served = warm.solve_panel(problem)
+        assert served.layout == solution.layout
+        assert second.stats() == CacheStats(store_hits=1)
+        # Promoted into memory: the next lookup never touches the disk.
+        warm.solve_panel(problem)
+        assert second.stats() == CacheStats(hits=1, store_hits=1)
+
+    def test_poisoned_blob_becomes_a_miss_and_is_dropped(
+        self, tmp_path, random_sino_problem
+    ):
+        """A blob valid in shape but wrong in content must never crash a hit."""
+        problem = random_sino_problem(5, 0.4, 2.0, seed=3)
+        store = ResultStore(tmp_path / "store")
+        engine = Engine(cache=SolutionCache(store=store))
+        engine.solve_panel(problem)
+        signature = store.signatures()[0]
+        blob_path = store._blob_path(signature)
+        payload = json.loads(blob_path.read_text())
+        payload["layout"] = [97, 98, 99]  # valid ints, wrong segments
+        blob_path.write_text(json.dumps(payload))
+
+        warm = Engine(cache=SolutionCache(store=store))
+        solution = warm.solve_panel(problem)  # re-solves instead of crashing
+        assert sorted(s for s in solution.layout if s is not None) == sorted(
+            problem.segments
+        )
+        stats = warm.cache.stats()
+        assert stats.misses == 1 and stats.store_hits == 0
+        assert store.stats().corrupt_dropped == 1
+        # The solve's write-through replaced the poisoned blob with a good one.
+        fresh = SolutionCache(store=store)
+        assert Engine(cache=fresh).solve_panel(problem).layout == solution.layout
+        assert fresh.stats().store_hits == 1
+
+    def test_cache_stats_tiers(self):
+        stats = CacheStats(hits=2, misses=1, store_hits=3)
+        assert stats.lookups == 6
+        assert stats.hit_rate == pytest.approx(5 / 6)
+        delta = stats - CacheStats(hits=1, store_hits=1)
+        assert delta == CacheStats(hits=1, misses=1, store_hits=2)
+        assert "from disk" in str(stats)
+        assert "from disk" not in str(CacheStats(hits=2, misses=1))
+
+
+# -- queue ---------------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_priority_order_with_fifo_ties(self):
+        queue = JobQueue()
+        for job_id, priority in (("a", 0), ("b", 5), ("c", 5), ("d", 1)):
+            queue.submit(Job(job_id=job_id, scenario="smoke", priority=priority))
+        assert [queue.pop().job_id for _ in range(4)] == ["b", "c", "d", "a"]
+        assert queue.pop() is None
+
+    def test_cancel_queued_job_never_runs(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="x", scenario="smoke"))
+        queue.submit(Job(job_id="y", scenario="smoke"))
+        assert queue.cancel("x") is True
+        assert queue.get("x").status == "cancelled"
+        assert queue.pop().job_id == "y"
+        assert queue.pop() is None
+
+    def test_cancel_running_job_sets_flag(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="x", scenario="smoke"))
+        job = queue.pop()
+        assert queue.cancel("x") is True
+        assert job.status == "running" and job.cancel_requested
+        queue.finish(job)
+        assert job.status == "cancelled"
+        assert queue.cancel("x") is False  # terminal
+
+    def test_retry_until_attempts_exhausted(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="x", scenario="smoke", max_attempts=2))
+        job = queue.pop()
+        queue.fail(job, "boom 1")
+        assert job.status == "queued" and job.attempts == 1
+        job = queue.pop()
+        assert job.attempts == 2
+        queue.fail(job, "boom 2")
+        assert job.status == "failed"
+        assert job.error == "boom 2"
+        assert queue.pop() is None
+
+    def test_duplicate_active_id_rejected(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="x", scenario="smoke"))
+        with pytest.raises(ValueError, match="already active"):
+            queue.submit(Job(job_id="x", scenario="smoke"))
+
+    def test_job_record_round_trip(self):
+        job = Job(job_id="j", scenario="smoke", params={"seed": 4}, priority=3)
+        assert Job.from_dict(job.to_dict()) == job
+        job.cancel_requested = True  # mid-run cancels survive the spool
+        assert Job.from_dict(job.to_dict()).cancel_requested is True
+
+    def test_prune_terminal_forgets_finished_jobs(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="a", scenario="smoke"))
+        queue.submit(Job(job_id="b", scenario="smoke"))
+        job = queue.pop()
+        queue.finish(job)
+        assert queue.prune_terminal() == 1
+        assert queue.get("a") is None
+        assert queue.get("b") is not None  # still queued
+        assert queue.pop().job_id == "b"  # stale heap entries are harmless
+
+
+# -- scenarios -----------------------------------------------------------------------
+
+
+class TestScenarios:
+    def test_registry_lists_builtins(self):
+        assert "smoke" in SCENARIO_NAMES and "dense-bus" in SCENARIO_NAMES
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_every_scenario_generates_deterministically(self, name):
+        first = generate_scenario(name)
+        second = generate_scenario(name)
+        assert [task.signature() for task in first] == [task.signature() for task in second]
+        assert len(first) == scenario_spec(name).panels
+        assert len({task.key for task in first}) == len(first)
+
+    def test_param_overrides_change_signatures(self):
+        base = generate_scenario("smoke")
+        reseeded = generate_scenario("smoke", {"seed": 99})
+        assert {t.signature() for t in base}.isdisjoint(t.signature() for t in reseeded)
+        assert len(generate_scenario("smoke", {"panels": 5})) == 5
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario parameter"):
+            generate_scenario("smoke", {"frobnicate": 1})
+        with pytest.raises(KeyError, match="unknown scenario"):
+            generate_scenario("no-such-scenario")
+
+    def test_mistyped_parameter_values_rejected(self):
+        """Bad values must fail at submit validation, not inside the daemon."""
+        with pytest.raises(ValueError, match="must be an integer"):
+            scenario_spec("smoke").with_params({"seed": "abc"})
+        with pytest.raises(ValueError, match="must be an integer"):
+            scenario_spec("smoke").with_params({"panels": 2.5})
+        with pytest.raises(ValueError, match="must be a number"):
+            scenario_spec("smoke").with_params({"sensitivity_rate": "high"})
+        with pytest.raises(ValueError, match="must be a string"):
+            scenario_spec("smoke").with_params({"effort": 3})
+        with pytest.raises(ValueError, match="does not accept"):
+            scenario_spec("smoke").with_params({"panels": True})
+        # Well-typed overrides still work, ints upgrading float fields.
+        assert scenario_spec("smoke").with_params({"sensitivity_rate": 1}).sensitivity_rate == 1.0
+
+    def test_technology_scales_bounds(self):
+        tight = generate_scenario("node-70nm")[0].problem
+        loose = generate_scenario("node-130nm", {"seed": scenario_spec("node-70nm").seed})[0]
+        # Same seed, same structure; only the Vdd-proportional bound scale differs.
+        ratio = loose.problem.default_kth / tight.default_kth
+        assert ratio == pytest.approx(1.2 / 0.9)
+
+
+# -- scheduler -----------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_executes_job_and_records_outcome(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="j", scenario="smoke"))
+        scheduler = Scheduler(queue, Engine(cache=SolutionCache()))
+        job = scheduler.run_once()
+        assert job.status == "done"
+        assert job.result["panels"] == len(_smoke_tasks())
+        assert job.result["valid_panels"] == job.result["panels"]
+        assert job.result["cache"]["misses"] == job.result["panels"]
+        assert scheduler.run_once() is None
+
+    def test_batches_group_by_solver_and_effort(self):
+        tasks = generate_scenario("smoke") + generate_scenario(
+            "ordering-baseline", {"panels": 2}
+        )
+        batches = batch_compatible(tasks)
+        assert [len(batch) for batch in batches] == [3, 2]
+        assert {(t.solver, t.effort) for t in batches[0]} == {("sino", "greedy")}
+        assert {(t.solver, t.effort) for t in batches[1]} == {("ordering", "greedy")}
+
+    def test_batch_size_bounds_homogeneous_jobs(self):
+        """A one-effort job must still get multiple batch boundaries."""
+        tasks = generate_scenario("mixed-width")  # 10 panels, one (solver, effort)
+        batches = batch_compatible(tasks, max_size=4)
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        assert [task for batch in batches for task in batch] == tasks
+        with pytest.raises(ValueError, match="max_size"):
+            batch_compatible(tasks, max_size=0)
+
+    def test_long_job_heartbeats_between_batches(self, tmp_path):
+        """_on_batch fires once per sub-batch, not once per job."""
+        root = tmp_path / "svc"
+        submit_job(root, "mixed-width")  # 10 homogeneous panels
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        daemon.scheduler.batch_size = 4
+        pulses = []
+        daemon.scheduler.on_batch = lambda job: pulses.append(job.job_id)
+        daemon.run(max_jobs=1, idle_exit=0.05)
+        assert len(pulses) == 3
+
+    def test_failure_retries_then_succeeds(self, monkeypatch):
+        import repro.service.scheduler as scheduler_module
+
+        calls = {"count": 0}
+        real = scheduler_module.generate_scenario
+
+        def flaky(name, params=None):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient failure")
+            return real(name, params)
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", flaky)
+        queue = JobQueue()
+        queue.submit(Job(job_id="j", scenario="smoke", max_attempts=2))
+        scheduler = Scheduler(queue)
+        first = scheduler.run_once()
+        assert first.status == "queued" and "transient failure" in first.error
+        second = scheduler.run_once()
+        assert second.status == "done" and second.attempts == 2
+
+    def test_failure_exhausts_attempts(self, monkeypatch):
+        import repro.service.scheduler as scheduler_module
+
+        def always_broken(name, params=None):
+            raise RuntimeError("permanently broken")
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", always_broken)
+        queue = JobQueue()
+        queue.submit(Job(job_id="j", scenario="smoke", max_attempts=2))
+        finished = Scheduler(queue).drain()
+        assert len(finished) == 2  # both attempts were claimed and ran
+        assert queue.get("j").status == "failed"
+        assert queue.get("j").attempts == 2
+        assert "permanently broken" in queue.get("j").error
+
+    def test_cancellation_between_batches(self):
+        queue = JobQueue()
+        queue.submit(Job(job_id="j", scenario="smoke"))
+        scheduler = Scheduler(queue)
+        job = queue.get("j")
+        job.cancel_requested = True
+        scheduler.run_once()
+        assert job.status == "cancelled"
+        assert job.result["batches"] == 0  # no batch was dispatched
+
+
+# -- daemon + spool ------------------------------------------------------------------
+
+
+class TestDaemon:
+    def test_submit_run_status_roundtrip(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke", priority=1)
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        assert daemon.run(max_jobs=1, idle_exit=0.05) == 1
+        finished = wait_for_job(root, job.job_id, timeout=5.0)
+        assert finished.status == "done"
+        report = service_status(root)
+        assert report["jobs"]["counts"] == {"done": 1}
+        assert report["store"]["entries"] == len(_smoke_tasks())
+        assert report["cache_totals"]["misses"] == len(_smoke_tasks())
+        heartbeat = report["daemon"]["heartbeat"]
+        assert heartbeat["jobs_done"] == 1 and heartbeat["pid"] == os.getpid()
+        # A cleanly exited daemon must not read as alive, however fresh the
+        # final heartbeat is.
+        assert report["daemon"]["alive"] is False
+
+    def test_submit_validates_scenario_before_writing(self, tmp_path):
+        root = tmp_path / "svc"
+        with pytest.raises(KeyError):
+            submit_job(root, "no-such-scenario")
+        with pytest.raises(ValueError):
+            submit_job(root, "smoke", params={"bogus": 1})
+        assert not (root / "jobs").exists() or not list((root / "jobs").glob("*.json"))
+
+    def test_cancel_of_finished_job_is_refused(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        assert wait_for_job(root, job.job_id, timeout=5.0).status == "done"
+        assert request_cancel(root, job.job_id) is False
+        assert not (root / "jobs" / f"{job.job_id}.cancel").exists()
+
+    def test_cancel_marker_cancels_queued_job(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        assert request_cancel(root, job.job_id) is True
+        assert request_cancel(root, "missing-job") is False
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        # The cancel-before-claim job counts toward --max-jobs: a daemon
+        # bounded to one job must exit immediately; hitting the idle-exit
+        # backstop instead (returning 0) is the regression this guards.
+        assert daemon.run(max_jobs=1, idle_exit=5.0) == 1
+        assert wait_for_job(root, job.job_id, timeout=5.0).status == "cancelled"
+        assert daemon.jobs_cancelled == 1
+        assert daemon.queue.jobs() == []  # pruned despite never being claimed
+
+    def test_running_record_persisted_before_execution(self, tmp_path, monkeypatch):
+        """max_attempts must bind across crashes: the claim is durable."""
+        import repro.service.scheduler as scheduler_module
+
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        observed = {}
+        real = scheduler_module.generate_scenario
+
+        def probing(name, params=None):
+            observed.update(
+                json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+            )
+            return real(name, params)
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", probing)
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        # While the job executed, its spool record already said so.
+        assert observed["status"] == "running"
+        assert observed["attempts"] == 1
+
+    def test_cancel_marker_honoured_mid_job(self, tmp_path, monkeypatch):
+        """A cancel arriving while the job runs lands at the next batch."""
+        import repro.service.scheduler as scheduler_module
+
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        real = scheduler_module.generate_scenario
+
+        def cancelling(name, params=None):
+            request_cancel(root, job.job_id)  # arrives mid-execution
+            return real(name, params)
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", cancelling)
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        finished = wait_for_job(root, job.job_id, timeout=5.0)
+        assert finished.status == "cancelled"
+        assert finished.result["batches"] == 0
+
+    def test_status_is_a_pure_read(self, tmp_path):
+        """`repro status` must never rewrite or clear a live store."""
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        store_meta = root / "store" / "store.json"
+        # Simulate a store written by a *newer* signature scheme.
+        meta = json.loads(store_meta.read_text())
+        meta["signature_version"] = SIGNATURE_VERSION + 1
+        store_meta.write_text(json.dumps(meta))
+        before = sorted((root / "store" / "blobs").glob("*/*.json"))
+        report = service_status(root)
+        assert report["store"]["entries"] == len(before) > 0
+        assert sorted((root / "store" / "blobs").glob("*/*.json")) == before
+        assert json.loads(store_meta.read_text())["signature_version"] == (
+            SIGNATURE_VERSION + 1
+        )  # metadata untouched
+
+    def test_crashed_running_job_is_requeued(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        record["status"] = "running"  # a previous daemon died mid-execution
+        record["attempts"] = 1
+        (root / "jobs" / f"{job.job_id}.json").write_text(json.dumps(record))
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        daemon.run(max_jobs=1, idle_exit=0.05)
+        finished = wait_for_job(root, job.job_id, timeout=5.0)
+        assert finished.status == "done"
+        assert finished.attempts == 2
+
+    def test_mid_run_cancel_survives_daemon_crash(self, tmp_path):
+        """A cancel consumed right before a crash still kills the retry."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        path = root / "jobs" / f"{job.job_id}.json"
+        record = json.loads(path.read_text())
+        # The crashed daemon had claimed the job and persisted the cancel.
+        record.update(status="running", attempts=1, cancel_requested=True)
+        path.write_text(json.dumps(record))
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        finished = wait_for_job(root, job.job_id, timeout=5.0)
+        assert finished.status == "cancelled"
+        assert finished.result["batches"] == 0
+
+    def test_terminal_jobs_are_pruned_from_memory(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        daemon.run(max_jobs=1, idle_exit=0.05)
+        assert wait_for_job(root, job.job_id, timeout=5.0).status == "done"
+        # The spool record is the history; the daemon itself forgets the job.
+        assert daemon.queue.get(job.job_id) is None
+        assert daemon.queue.jobs() == []
+
+    def test_poison_job_fails_after_attempts_exhausted(self, tmp_path):
+        """A job that crashes the daemon cannot crash-loop forever."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke", max_attempts=2)
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        record["status"] = "running"
+        record["attempts"] = 2  # every allowed attempt already died
+        (root / "jobs" / f"{job.job_id}.json").write_text(json.dumps(record))
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        # Nothing runs, but the failed-by-recovery job still counts as
+        # finished work (a --max-jobs daemon must not spin on it).
+        assert daemon.run(max_jobs=1, idle_exit=5.0) == 1
+        failed = wait_for_job(root, job.job_id, timeout=5.0)
+        assert failed.status == "failed"
+        assert "daemon died" in failed.error
+        assert daemon.jobs_failed == 1
+
+    def test_cancel_marker_survives_submit_race(self, tmp_path):
+        """A marker seen before its job record is loaded must not be lost."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        assert request_cancel(root, job.job_id) is True
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        marker = root / "jobs" / f"{job.job_id}.cancel"
+        # Marker processed while the queue has never seen the job (the
+        # submit/cancel race): it must be left in place, not swallowed.
+        daemon._consume_cancel_marker(marker)
+        assert marker.exists()
+        daemon.poll_spool()  # record loads first, then the marker lands
+        assert not marker.exists()
+        assert daemon.queue.get(job.job_id).status == "cancelled"
+
+    def test_running_job_of_live_sibling_daemon_is_not_stolen(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        path = root / "jobs" / f"{job.job_id}.json"
+        record = json.loads(path.read_text())
+        record.update(status="running", attempts=1)
+        path.write_text(json.dumps(record))
+        # A *fresh* heartbeat from another pid: that daemon owns the job.
+        (root / "service.json").write_text(
+            json.dumps(
+                {"pid": os.getpid() + 1, "updated_at": time.time(), "stopped": False}
+            )
+        )
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        assert daemon.poll_spool() == 0
+        assert daemon.queue.get(job.job_id) is None  # left alone
+        assert json.loads(path.read_text())["status"] == "running"
+
+    def test_stale_sibling_heartbeat_allows_recovery(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        path = root / "jobs" / f"{job.job_id}.json"
+        record = json.loads(path.read_text())
+        record.update(status="running", attempts=1)
+        path.write_text(json.dumps(record))
+        (root / "service.json").write_text(
+            json.dumps(
+                {"pid": os.getpid() + 1, "updated_at": time.time() - 3600, "stopped": False}
+            )
+        )
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        daemon.run(max_jobs=1, idle_exit=0.05)
+        assert wait_for_job(root, job.job_id, timeout=5.0).status == "done"
+
+    def test_job_id_reuse_after_purge_is_executed(self, tmp_path):
+        root = tmp_path / "svc"
+        submit_job(root, "smoke", job_id="nightly")
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        daemon.run(max_jobs=1, idle_exit=0.05)
+        assert wait_for_job(root, "nightly", timeout=5.0).status == "done"
+        gc_service(root, purge_jobs=True)
+        # Same id, fresh record: the (still-running) daemon must notice the
+        # rewritten file rather than skipping the id from memory forever.
+        submit_job(root, "smoke", job_id="nightly", params={"seed": 9})
+        assert daemon.poll_spool() == 1
+        assert daemon.queue.get("nightly").status == "queued"
+
+    def test_priority_orders_execution(self, tmp_path):
+        root = tmp_path / "svc"
+        low = submit_job(root, "smoke", priority=0)
+        high = submit_job(root, "smoke", priority=9)
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        daemon.poll_spool()
+        assert daemon.queue.pop().job_id == high.job_id
+        assert daemon.queue.pop().job_id == low.job_id
+
+    def test_gc_purges_jobs_and_evicts_store(self, tmp_path):
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        report = gc_service(root, max_bytes=1, purge_jobs=True)
+        assert report["purged_jobs"] == 1
+        assert report["evicted_blobs"] == len(_smoke_tasks())
+        assert service_status(root)["jobs"]["counts"] == {}
+
+    def test_gc_never_opens_the_store(self, tmp_path):
+        """`repro gc` from a foreign checkout must not version-clear blobs."""
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        meta_path = root / "store" / "store.json"
+        meta = json.loads(meta_path.read_text())
+        meta["signature_version"] = SIGNATURE_VERSION + 1  # a newer daemon's store
+        meta_path.write_text(json.dumps(meta))
+        before = sorted((root / "store" / "blobs").glob("*/*.json"))
+        report = gc_service(root, purge_jobs=True)  # no size cap: no eviction
+        assert report["evicted_blobs"] == 0
+        assert sorted((root / "store" / "blobs").glob("*/*.json")) == before
+        assert json.loads(meta_path.read_text()) == meta  # metadata untouched
+
+
+# -- warm start across processes (the acceptance criterion) --------------------------
+
+
+class TestWarmStart:
+    def test_daemon_restart_serves_from_store(self, tmp_path):
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        job = submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        finished = wait_for_job(root, job.job_id, timeout=5.0)
+        cache = finished.result["cache"]
+        assert cache["misses"] == 0
+        assert cache["store_hits"] == len(_smoke_tasks())
+
+    def test_compare_flows_second_run_solves_nothing(self, tmp_path, small_circuit):
+        """A repeated comparison with the store performs zero redundant solves."""
+        config = GsinoConfig(length_scale=1.0 / (0.015**0.5))
+        store_root = tmp_path / "store"
+
+        cold_engine = Engine(cache=SolutionCache(store=ResultStore(store_root)))
+        cold = compare_flows(
+            small_circuit.grid, small_circuit.netlist, config, engine=cold_engine
+        )
+        cold_stats = cold_engine.cache_stats()
+        assert cold_stats.misses > 0 and cold_stats.store_hits == 0
+
+        # Fresh engine + fresh memory cache on the same store = a new process.
+        warm_engine = Engine(cache=SolutionCache(store=ResultStore(store_root)))
+        warm = compare_flows(
+            small_circuit.grid, small_circuit.netlist, config, engine=warm_engine
+        )
+        warm_stats = warm_engine.cache_stats()
+        assert warm_stats.misses == 0, "second run must not solve any panel"
+        assert warm_stats.store_hits > 0
+        for flow in ("id_no", "isino", "gsino"):
+            assert warm[flow].metrics.crosstalk.num_violations == (
+                cold[flow].metrics.crosstalk.num_violations
+            )
+            assert warm[flow].panels.keys() == cold[flow].panels.keys()
+            for key in warm[flow].panels:
+                assert warm[flow].panels[key].layout == cold[flow].panels[key].layout
+
+    def test_cli_cross_process_warm_start(self, tmp_path):
+        """Two real `repro compare --store` processes: the second is all disk hits."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "compare",
+            "--circuit",
+            "ibm01",
+            "--rate",
+            "0.3",
+            "--scale",
+            "0.01",
+            "--seed",
+            "3",
+            "--store",
+            str(tmp_path / "store"),
+        ]
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        first = subprocess.run(command, capture_output=True, text=True, env=env, check=True)
+        assert "cold solves" in first.stdout
+        second = subprocess.run(command, capture_output=True, text=True, env=env, check=True)
+        assert "zero redundant solves" in second.stdout
+        assert "0 misses" in second.stdout
+
+    def test_sweep_runner_targets_service_store(self, tmp_path):
+        """run_table_suite warm-starts across processes via store_path."""
+        from repro.analysis.experiments import ExperimentConfig, run_table_suite
+
+        config = ExperimentConfig(
+            circuits=("ibm01",),
+            sensitivity_rates=(0.3,),
+            scale=0.01,
+            seed=3,
+            store_path=tmp_path / "store",
+        )
+        run_table_suite(config)
+        warm = run_table_suite(config)  # fresh engines per instance, same store
+        for comparison in warm:
+            for flow in comparison.flows.values():
+                assert flow.cache_stats is not None
+                assert flow.cache_stats.misses == 0
+
+    def test_store_path_requires_cache(self, tmp_path):
+        from repro.analysis.experiments import ExperimentConfig
+
+        with pytest.raises(ValueError, match="store_path requires use_cache"):
+            ExperimentConfig(use_cache=False, store_path=tmp_path / "store")
