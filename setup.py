@@ -36,6 +36,9 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: the distribution ships inline types (the repro.flow package
+    # is fully annotated; the rest is typed opportunistically).
+    package_data={"repro": ["py.typed"]},
     install_requires=[
         "numpy",
         "scipy",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_percentage, format_table
 from repro.bench.ibm import GeneratedCircuit, generate_circuit
@@ -29,9 +29,13 @@ from repro.engine.backends import BACKEND_NAMES, create_backend
 from repro.engine.cache import SolutionCache
 from repro.engine.panels import Engine
 from repro.engine.sweep import SweepRunner
+from repro.flow.flows import build_context, run_compare
 from repro.gsino.config import GsinoConfig
-from repro.gsino.pipeline import FlowResult, compare_flows
+from repro.gsino.pipeline import FlowResult
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
+
+if TYPE_CHECKING:  # the service layer sits above analysis; import for types only
+    from repro.service.store import ResultStore
 
 #: The benchmark circuits and sensitivity rates the paper's tables cover.
 DEFAULT_CIRCUITS: Tuple[str, ...] = ("ibm01", "ibm02", "ibm03", "ibm04", "ibm05", "ibm06")
@@ -135,8 +139,8 @@ class ExperimentConfig:
             changes["anneal"] = replace(schedule, chains=self.chains)
         return self.gsino.with_changes(**changes)
 
-    def instance_engine(self) -> Engine:
-        """The per-instance execution engine.
+    def instance_runtime(self) -> Tuple[Engine, Optional["ResultStore"]]:
+        """The per-instance execution engine and its persistent store.
 
         Panel solves inside an instance run serially — the sweep already
         parallelises at instance granularity, and nesting pools would
@@ -145,15 +149,21 @@ class ExperimentConfig:
         that cache with the persistent tier; the store is (re)opened here,
         inside the worker, so process-backend sweeps each hold their own
         handle on the shared directory (writes are atomic and idempotent).
+        The store doubles as the stage-artifact tier of the flow runner, so
+        repeated sweeps resume whole stages, not just panels.
         """
         if not self.use_cache:
-            return Engine()
+            return Engine(), None
         store = None
         if self.store_path is not None:
             from repro.service.store import ResultStore  # service sits above analysis
 
             store = ResultStore(self.store_path)
-        return Engine(cache=SolutionCache(store=store))
+        return Engine(cache=SolutionCache(store=store)), store
+
+    def instance_engine(self) -> Engine:
+        """The per-instance execution engine (see :meth:`instance_runtime`)."""
+        return self.instance_runtime()[0]
 
 
 @dataclass
@@ -186,16 +196,25 @@ def run_circuit_comparison(
     config: ExperimentConfig,
     seed_offset: int = 0,
 ) -> CircuitComparison:
-    """Generate one instance and run all three flows on it."""
+    """Generate one instance and run all three flows on it.
+
+    The instance (grid, netlist, sensitivity) is generated exactly once and
+    threaded through all three flows via one shared
+    :class:`~repro.flow.graph.FlowContext`; the flows themselves run as
+    stage graphs over a single runner, so shared ancestors (the baselines'
+    routing, the budgets) are computed once per comparison — and, when a
+    ``store_path`` is configured, persisted stage artifacts are restored
+    instead of recomputed.
+    """
     circuit = generate_circuit(
         circuit_name,
         sensitivity_rate=sensitivity_rate,
         scale=config.scale,
         seed=config.seed + seed_offset,
     )
-    flows = compare_flows(
-        circuit.grid, circuit.netlist, config.flow_config(), engine=config.instance_engine()
-    )
+    engine, store = config.instance_runtime()
+    context = build_context(circuit.grid, circuit.netlist, config.flow_config(), engine)
+    flows = run_compare(context, store=store).results
     return CircuitComparison(
         circuit=circuit,
         sensitivity_rate=sensitivity_rate,

@@ -8,9 +8,20 @@ The one-shot subcommands cover the paper's workflows::
 
 ``tables`` regenerates the paper's Tables 1–3 on the synthetic suite,
 ``compare`` runs the three flows on a single circuit and prints one row of
-each table, and ``characterize`` builds the LSK lookup table from the circuit
+each table (with a per-stage timing breakdown and the stage-graph execution
+summary), and ``characterize`` builds the LSK lookup table from the circuit
 simulator and optionally writes it to a JSON file that ``GsinoConfig`` can
-load back.
+load back.  ``flows`` exposes the stage-graph layer directly::
+
+    python -m repro.cli flows --list
+    python -m repro.cli flows --show gsino
+    python -m repro.cli flows --run compare --circuit ibm01 --store .repro-store
+    python -m repro.cli flows --run gsino --resume --store .repro-store
+
+``--run`` materialises a flow's graph (shared ancestors computed once);
+with ``--store DIR`` every stage artifact is persisted, and ``--resume``
+restores them — an interrupted or repeated run re-executes nothing that is
+already on disk.
 
 The flow-running subcommands share the engine flags (``--backend``,
 ``--workers``, ``--no-cache``, ``--store DIR``) and the solver flags:
@@ -50,8 +61,16 @@ from repro.analysis.experiments import (
 from repro.analysis.report import format_percentage
 from repro.bench.ibm import generate_circuit
 from repro.engine import BACKEND_NAMES, Engine, SolutionCache, create_backend
+from repro.flow.flows import (
+    FLOW_NAMES,
+    build_context,
+    flow_graph,
+    list_flows,
+    run_compare,
+    run_flow,
+)
+from repro.flow.runner import FlowRunner, StageExecution
 from repro.gsino.config import GsinoConfig
-from repro.gsino.pipeline import compare_flows
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
 from repro.service import (
     ResultStore,
@@ -145,6 +164,40 @@ def _add_tables_parser(subparsers: argparse._SubParsersAction) -> None:
 
 def _add_compare_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser("compare", help="run ID+NO, iSINO and GSINO on one circuit")
+    parser.add_argument("--circuit", default="ibm01", help="benchmark circuit name")
+    parser.add_argument("--rate", type=float, default=0.3, help="sensitivity rate")
+    parser.add_argument("--scale", type=float, default=0.03, help="benchmark size scale in (0, 1]")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument("--bound", type=float, default=None, help="crosstalk bound in volts")
+    _add_engine_arguments(parser)
+
+
+def _add_flows_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "flows", help="inspect and run stage-graph flows (list, show, run, resume)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered flows and exit"
+    )
+    parser.add_argument(
+        "--show",
+        choices=list(FLOW_NAMES),
+        default=None,
+        metavar="NAME",
+        help="print a flow's stage graph (artifact <- stage(inputs)) and exit",
+    )
+    parser.add_argument(
+        "--run",
+        choices=list(FLOW_NAMES) + ["compare"],
+        default=None,
+        metavar="NAME",
+        help="run one flow (or 'compare' for all three over a shared runner)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from persisted stage artifacts (requires --run and --store)",
+    )
     parser.add_argument("--circuit", default="ibm01", help="benchmark circuit name")
     parser.add_argument("--rate", type=float, default=0.3, help="sensitivity rate")
     parser.add_argument("--scale", type=float, default=0.03, help="benchmark size scale in (0, 1]")
@@ -276,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_tables_parser(subparsers)
     _add_compare_parser(subparsers)
+    _add_flows_parser(subparsers)
     _add_characterize_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_submit_parser(subparsers)
@@ -317,7 +371,34 @@ def _run_tables(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_compare(args: argparse.Namespace) -> int:
+def _stage_note(executions: Sequence[StageExecution]) -> str:
+    """``artifact=seconds|shared|restored`` breakdown of one flow's stages."""
+    parts = []
+    for execution in executions:
+        if execution.outcome == "shared":
+            parts.append(f"{execution.artifact}=shared")
+        elif execution.outcome == "restored":
+            parts.append(f"{execution.artifact}=restored")
+        else:
+            parts.append(f"{execution.artifact}={execution.seconds:.2f}s")
+    return " ".join(parts)
+
+
+def _print_stage_graph_summary(runner: FlowRunner) -> None:
+    """The greppable one-line stage-execution summary (CI flow-smoke)."""
+    counts = runner.outcome_counts()
+    print(
+        f"  stage graph: {counts['executed']} executed, "
+        f"{counts['restored']} restored, {counts['shared']} shared"
+    )
+
+
+def _instance_run_setup(args: argparse.Namespace):
+    """(circuit, config, store, engine) shared by ``compare`` and ``flows``.
+
+    One construction path, so a new solver or engine flag can never reach
+    one subcommand and silently miss the other.
+    """
     circuit = generate_circuit(
         args.circuit, sensitivity_rate=args.rate, scale=args.scale, seed=args.seed
     )
@@ -332,15 +413,22 @@ def _run_compare(args: argparse.Namespace) -> int:
         backend=create_backend(args.backend, args.workers),
         cache=None if args.no_cache else SolutionCache(store=store),
     )
+    return circuit, config, store, engine
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    circuit, config, store, engine = _instance_run_setup(args)
     with engine:
-        results = compare_flows(circuit.grid, circuit.netlist, config, engine=engine)
+        context = build_context(circuit.grid, circuit.netlist, config, engine)
+        outcome = run_compare(context, store=store)
+    results = outcome.results
     id_no = results["id_no"]
     print(
         f"{circuit.profile.name}: {circuit.netlist.num_nets} nets, "
         f"sensitivity {format_percentage(args.rate, 0)}, bound {config.resolved_bound():.2f} V "
         f"[backend={engine.backend.name}, cache={'off' if engine.cache is None else 'on'}]"
     )
-    for name in ("id_no", "isino", "gsino"):
+    for name in FLOW_NAMES:
         result = results[name]
         metrics = result.metrics
         area_overhead = metrics.area.overhead_vs(id_no.metrics.area)
@@ -354,6 +442,8 @@ def _run_compare(args: argparse.Namespace) -> int:
             f"shields={metrics.total_shields}  "
             f"runtime={result.runtime_seconds:.2f}s{cache_note}"
         )
+        print(f"         stages: {_stage_note(outcome.runner.executions_for(name))}")
+    _print_stage_graph_summary(outcome.runner)
     if engine.cache is not None:
         print(f"  panel cache: {engine.cache_stats()} over {len(engine.cache)} entries")
     if store is not None:
@@ -363,6 +453,51 @@ def _run_compare(args: argparse.Namespace) -> int:
         print(
             f"  persistent store: {store.stats()}; {entries} entries, "
             f"{total_bytes} bytes ({redundant})"
+        )
+    return 0
+
+
+def _run_flows(args: argparse.Namespace) -> int:
+    if args.list:
+        for name, description in list_flows():
+            stages = len(flow_graph(name).schedule())
+            print(f"  {name:8s} {description} [{stages} stages]")
+        print("  compare  all three flows over one shared runner")
+        return 0
+    if args.show is not None:
+        print(f"{args.show} stage graph:")
+        for line in flow_graph(args.show).describe():
+            print(f"  {line}")
+        return 0
+    if args.run is None:
+        raise SystemExit("flows: choose one of --list, --show NAME or --run NAME")
+    names = FLOW_NAMES if args.run == "compare" else (args.run,)
+    circuit, config, store, engine = _instance_run_setup(args)
+    with engine:
+        context = build_context(circuit.grid, circuit.netlist, config, engine)
+        runner = FlowRunner(context, store=store)
+        results = {name: run_flow(name, context, runner=runner) for name in names}
+    print(
+        f"{circuit.profile.name}: {circuit.netlist.num_nets} nets, "
+        f"sensitivity {format_percentage(args.rate, 0)} "
+        f"[backend={engine.backend.name}, cache={'off' if engine.cache is None else 'on'}]"
+    )
+    for name in names:
+        result = results[name]
+        metrics = result.metrics
+        print(
+            f"  {name:6s} violations={metrics.crosstalk.num_violations:<5d} "
+            f"avg_wl={metrics.average_wirelength_um:8.1f} um  "
+            f"area={metrics.area.dimensions_label():>14s}  "
+            f"shields={metrics.total_shields}  runtime={result.runtime_seconds:.2f}s"
+        )
+        print(f"         stages: {_stage_note(runner.executions_for(name))}")
+    _print_stage_graph_summary(runner)
+    if args.resume:
+        counts = runner.outcome_counts()
+        print(
+            f"  resumed from {args.store}: {counts['restored']} stage(s) restored, "
+            f"{counts['executed']} executed"
         )
     return 0
 
@@ -527,9 +662,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--workers requires a parallel backend (--backend thread|process)")
     if getattr(args, "store", None) is not None and getattr(args, "no_cache", False):
         parser.error("--store requires the panel cache (drop --no-cache)")
+    if getattr(args, "resume", False):
+        if getattr(args, "run", None) is None:
+            parser.error("--resume requires --run NAME")
+        if getattr(args, "store", None) is None:
+            parser.error("--resume requires --store DIR (the persisted stage artifacts)")
     handlers = {
         "tables": _run_tables,
         "compare": _run_compare,
+        "flows": _run_flows,
         "characterize": _run_characterize,
         "serve": _run_serve,
         "submit": _run_submit,

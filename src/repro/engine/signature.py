@@ -1,10 +1,18 @@
-"""Content-addressed signatures for SINO panel instances.
+"""Content-addressed signatures for SINO panels, routing instances and stages.
 
 The solution cache (:mod:`repro.engine.cache`) must recognise that two panel
 solves — possibly issued by different flows, phases or sweep repetitions —
 are the *same* problem.  Object identity is useless for that (every flow
 rebuilds its own :class:`~repro.sino.panel.SinoProblem` instances), so the
 cache keys on a stable content hash instead.
+
+Beyond panels, the flow layer (:mod:`repro.flow`) memoises whole *stage
+artifacts* — routings, budget tables, panel-solution maps, metrics — by the
+same principle: :func:`instance_token` canonicalises a routing instance
+(grid plus netlist, sensitivity included) and :func:`stage_signature` hashes
+a stage's identity together with the signatures of its input artifacts, so
+two flows that share an ancestor stage share one artifact, in memory and in
+the persistent store.
 
 A signature covers everything that can influence the solution:
 
@@ -27,15 +35,24 @@ a stale cached solution.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.sino.anneal import AnnealConfig
 from repro.sino.panel import SinoProblem
+
+if TYPE_CHECKING:  # the grid layer sits below the engine; import only for types
+    from repro.grid.nets import Netlist
+    from repro.grid.regions import RoutingGrid
 
 #: Signature scheme version; bump when the token layout changes so persisted
 #: caches (if any) cannot return solutions hashed under an older scheme.
 #: Version 2 added the chain count to the annealing-schedule token.
 SIGNATURE_VERSION = 2
+
+#: Version of the *stage* signature scheme (instance token + stage token
+#: layout).  Bump whenever either token layout changes so persisted stage
+#: artifacts hashed under an older scheme can never be restored.
+STAGE_SIGNATURE_VERSION = 1
 
 
 def _float_token(value: float) -> str:
@@ -118,6 +135,104 @@ def panel_signature(
             f"effort={effort}",
             f"seed={'-' if seed is None else seed}",
             f"anneal={_anneal_token(anneal)}",
+        )
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+def anneal_token(anneal: Optional[AnnealConfig]) -> str:
+    """Public canonical encoding of an annealing schedule.
+
+    The flow layer folds the configured schedule into its configuration
+    token; exposing the panel encoder keeps the two encodings identical by
+    construction.
+    """
+    return _anneal_token(anneal)
+
+
+def float_token(value: float) -> str:
+    """Public exact hex encoding of a float.
+
+    The single encoder behind both the panel signatures and the flow
+    layer's instance/configuration tokens — one scheme, so the two token
+    families can never drift apart.
+    """
+    return _float_token(value)
+
+
+def instance_token(grid: "RoutingGrid", netlist: "Netlist") -> str:
+    """Stable hex digest of one routing instance (grid + netlist + sensitivity).
+
+    Covers everything a flow stage can read from the instance: the grid
+    geometry and capacities, every net's pin coordinates (hex-encoded, so
+    the token is exact) and the full pairwise sensitivity relation.  Two
+    instances with the same token produce bit-identical stage artifacts
+    under the same configuration, which is what lets the flow layer share
+    and persist stage results across runs and processes.
+    """
+    grid_token = ",".join(
+        (
+            str(grid.num_cols),
+            str(grid.num_rows),
+            _float_token(grid.chip_width),
+            _float_token(grid.chip_height),
+            str(grid.horizontal_capacity),
+            str(grid.vertical_capacity),
+            _float_token(grid.track_pitch_um),
+        )
+    )
+    net_ids = netlist.net_ids()
+    net_parts = []
+    for net_id in net_ids:
+        net = netlist.net(net_id)
+        pins = ";".join(f"{_float_token(pin.x)}:{_float_token(pin.y)}" for pin in net.pins)
+        net_parts.append(f"{net_id}@{pins}")
+    sensitivity = netlist.local_sensitivity_map(net_ids)
+    pairs = sorted(
+        {
+            (min(net_id, other), max(net_id, other))
+            for net_id, others in sensitivity.items()
+            for other in others
+        }
+    )
+    token = "|".join(
+        (
+            f"sv{STAGE_SIGNATURE_VERSION}",
+            f"grid={grid_token}",
+            f"nets={','.join(net_parts)}",
+            f"sensitivity={';'.join(f'{a}-{b}' for a, b in pairs)}",
+        )
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+def stage_signature(
+    stage: str,
+    version: int,
+    params: str,
+    instance: str,
+    config: str,
+    inputs: Sequence[str],
+) -> str:
+    """Stable hex digest identifying one stage artifact.
+
+    Covers the stage identity (name, implementation ``version``, parameter
+    token), the instance and configuration tokens, and — in declared order —
+    the signatures of the input artifacts, so any change anywhere upstream
+    produces a different artifact signature.  The configuration token is a
+    deliberate over-approximation: it covers the whole flow configuration,
+    so an unrelated knob change conservatively re-executes every stage
+    rather than risking a stale shared artifact.
+    """
+    token = "|".join(
+        (
+            f"sv{STAGE_SIGNATURE_VERSION}",
+            f"stage={stage}",
+            f"version={version}",
+            f"params={params}",
+            f"instance={instance}",
+            f"config={config}",
+            f"inputs={','.join(inputs)}",
         )
     )
     return hashlib.sha256(token.encode("utf-8")).hexdigest()

@@ -1,0 +1,46 @@
+"""Composable, resumable, engine-parallel flow graphs (see DESIGN.md).
+
+Public surface of the stage-graph subsystem: the graph datatypes
+(:class:`Stage`, :class:`FlowGraph`, :class:`FlowContext`), the
+materialising :class:`FlowRunner`, and the registered paper flows
+(``id_no``, ``isino``, ``gsino``) with their drivers.
+"""
+
+from repro.flow.artifacts import (
+    MetricsArtifact,
+    RefineArtifact,
+    RoutingArtifact,
+)
+from repro.flow.graph import ArtifactStore, FlowContext, FlowGraph, Stage
+from repro.flow.runner import EXECUTED, RESTORED, SHARED, FlowRunner, StageExecution
+from repro.flow.flows import (
+    FLOW_NAMES,
+    CompareOutcome,
+    build_context,
+    flow_graph,
+    list_flows,
+    run_compare,
+    run_flow,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CompareOutcome",
+    "EXECUTED",
+    "FLOW_NAMES",
+    "FlowContext",
+    "FlowGraph",
+    "FlowRunner",
+    "MetricsArtifact",
+    "RESTORED",
+    "RefineArtifact",
+    "RoutingArtifact",
+    "SHARED",
+    "Stage",
+    "StageExecution",
+    "build_context",
+    "flow_graph",
+    "list_flows",
+    "run_compare",
+    "run_flow",
+]

@@ -9,30 +9,23 @@
   inside every region.  Crosstalk is fixed, but because the router never knew
   about shields the area overhead is much larger than GSINO's (Table 3).
 
-Both baselines share one routing run, as in the paper ("ID-based global
-router to minimize wire length and congestion only" for both).
+Both baselines are stage graphs over :mod:`repro.flow` that differ only in
+their panel-solver stage; their shared ancestors — the conventional routing
+run and the budgets — are materialised once per runner, exactly as in the
+paper ("ID-based global router to minimize wire length and congestion only"
+for both).  The pre-refactor monoliths live in :mod:`repro.gsino.reference`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional
 
 from repro.engine.panels import Engine
 from repro.grid.nets import Netlist
 from repro.grid.regions import RoutingGrid
-from repro.gsino.budgeting import NetBudget, compute_budgets
+from repro.gsino.budgeting import NetBudget
 from repro.gsino.config import GsinoConfig
-from repro.gsino.metrics import compute_flow_metrics
-from repro.gsino.phase2 import run_phase2
 from repro.gsino.pipeline import FlowResult
-from repro.router.iterative_deletion import IterativeDeletionRouter
-
-
-def _route_baseline(grid: RoutingGrid, netlist: Netlist, config: GsinoConfig):
-    """One conventional ID routing run (no shield reservation)."""
-    router = IterativeDeletionRouter(grid, netlist, config=config.baseline_weights)
-    return router.route()
 
 
 def run_baseline_flows(
@@ -45,52 +38,22 @@ def run_baseline_flows(
     """Run ID+NO and iSINO sharing a single conventional routing run.
 
     Both flows dispatch their per-region solves through ``engine`` (serial,
-    uncached when ``None``); each records its own wall-clock runtime and its
-    share of the cache traffic.
+    uncached when ``None``); each records its own wall-clock runtime, its
+    per-stage timing breakdown and its share of the cache traffic.
     """
+    # Imported here: the flow layer sits above gsino and imports this package.
+    from repro.flow.flows import BUDGETS, build_context, run_flow
+    from repro.flow.runner import FlowRunner
+
     config = config or GsinoConfig()
     engine = engine or Engine()
-    if budgets is None:
-        budgets = compute_budgets(netlist, config)
-
-    start = time.perf_counter()
-    routing, router_report = _route_baseline(grid, netlist, config)
-    routing_time = time.perf_counter() - start
-
-    results: Dict[str, FlowResult] = {}
-
-    start = time.perf_counter()
-    stats_before = engine.cache_stats()
-    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering", engine=engine)
-    metrics, congestion = compute_flow_metrics(routing, ordering.panels, config)
-    results["id_no"] = FlowResult(
-        name="id_no",
-        routing=routing,
-        panels=dict(ordering.panels),
-        budgets=budgets,
-        metrics=metrics,
-        congestion=congestion,
-        router_report=router_report,
-        runtime_seconds=routing_time + (time.perf_counter() - start),
-        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
-    )
-
-    start = time.perf_counter()
-    stats_before = engine.cache_stats()
-    sino = run_phase2(routing, netlist, budgets, config, solver="sino", engine=engine)
-    metrics, congestion = compute_flow_metrics(routing, sino.panels, config)
-    results["isino"] = FlowResult(
-        name="isino",
-        routing=routing,
-        panels=dict(sino.panels),
-        budgets=budgets,
-        metrics=metrics,
-        congestion=congestion,
-        router_report=router_report,
-        runtime_seconds=routing_time + (time.perf_counter() - start),
-        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
-    )
-    return results
+    context = build_context(grid, netlist, config, engine)
+    runner = FlowRunner(context)
+    seeds = None if budgets is None else {BUDGETS: budgets}
+    return {
+        name: run_flow(name, context, runner=runner, seeds=seeds)
+        for name in ("id_no", "isino")
+    }
 
 
 def run_id_no(
@@ -100,25 +63,10 @@ def run_id_no(
     engine: Optional[Engine] = None,
 ) -> FlowResult:
     """Run only the ID+NO baseline."""
-    config = config or GsinoConfig()
-    engine = engine or Engine()
-    budgets = compute_budgets(netlist, config)
-    start = time.perf_counter()
-    stats_before = engine.cache_stats()
-    routing, router_report = _route_baseline(grid, netlist, config)
-    ordering = run_phase2(routing, netlist, budgets, config, solver="ordering", engine=engine)
-    metrics, congestion = compute_flow_metrics(routing, ordering.panels, config)
-    return FlowResult(
-        name="id_no",
-        routing=routing,
-        panels=dict(ordering.panels),
-        budgets=budgets,
-        metrics=metrics,
-        congestion=congestion,
-        router_report=router_report,
-        runtime_seconds=time.perf_counter() - start,
-        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
-    )
+    from repro.flow.flows import build_context, run_flow
+
+    context = build_context(grid, netlist, config or GsinoConfig(), engine or Engine())
+    return run_flow("id_no", context)
 
 
 def run_isino(
@@ -128,22 +76,7 @@ def run_isino(
     engine: Optional[Engine] = None,
 ) -> FlowResult:
     """Run only the iSINO baseline."""
-    config = config or GsinoConfig()
-    engine = engine or Engine()
-    budgets = compute_budgets(netlist, config)
-    start = time.perf_counter()
-    stats_before = engine.cache_stats()
-    routing, router_report = _route_baseline(grid, netlist, config)
-    sino = run_phase2(routing, netlist, budgets, config, solver="sino", engine=engine)
-    metrics, congestion = compute_flow_metrics(routing, sino.panels, config)
-    return FlowResult(
-        name="isino",
-        routing=routing,
-        panels=dict(sino.panels),
-        budgets=budgets,
-        metrics=metrics,
-        congestion=congestion,
-        router_report=router_report,
-        runtime_seconds=time.perf_counter() - start,
-        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
-    )
+    from repro.flow.flows import build_context, run_flow
+
+    context = build_context(grid, netlist, config or GsinoConfig(), engine or Engine())
+    return run_flow("isino", context)

@@ -1,9 +1,19 @@
-"""End-to-end flow drivers: GSINO and the flow-comparison harness."""
+"""End-to-end flow drivers: GSINO and the flow-comparison harness.
+
+Since the stage-graph refactor these drivers are thin shims over
+:mod:`repro.flow`: each flow is a declarative graph of reusable stages
+(budgeting, routing, panel solving, refinement, metrics) materialised by a
+:class:`~repro.flow.runner.FlowRunner`, which memoises stage artifacts by
+content signature, shares common ancestors across flows and — when a
+persistent store is attached — resumes interrupted runs stage-granular.
+The legacy monolithic implementation is retained verbatim in
+:mod:`repro.gsino.reference` as the golden-equivalence oracle; the staged
+flows are bit-identical to it on every Table 1–3 quantity.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.engine.cache import CacheStats, SolutionCache
@@ -12,14 +22,14 @@ from repro.grid.congestion import CongestionMap
 from repro.grid.nets import Netlist
 from repro.grid.regions import RoutingGrid
 from repro.grid.routes import RoutingSolution
-from repro.gsino.budgeting import NetBudget, compute_budgets
+from repro.gsino.budgeting import NetBudget
 from repro.gsino.config import GsinoConfig
-from repro.gsino.metrics import FlowMetrics, PanelKey, compute_flow_metrics
-from repro.gsino.phase1 import run_phase1
-from repro.gsino.phase2 import run_phase2
-from repro.gsino.phase3 import Phase3Report, run_phase3
+from repro.gsino.metrics import FlowMetrics, PanelKey
+from repro.gsino.phase3 import Phase3Report
 from repro.router.iterative_deletion import RouterReport
 from repro.sino.panel import SinoSolution
+
+__all__ = ["FlowResult", "run_gsino", "compare_flows"]
 
 
 @dataclass
@@ -46,12 +56,21 @@ class FlowResult:
     phase3_report:
         Present only for the GSINO flow.
     runtime_seconds:
-        Wall-clock time of the flow.
+        Wall-clock time of the flow.  In a ``compare`` run, work shared
+        with an earlier flow (the baselines' common routing, the budgets)
+        is charged to the flow that materialised it; ``stage_timings``
+        breaks the number down.
     cache_stats:
         Solution-cache traffic attributed to this flow (hits/misses while it
         ran, including ``store_hits`` served by a persistent result store
         when the engine's cache is backed by one); ``None`` when the flow
         ran without a cache.
+    stage_timings:
+        Per-stage wall-clock breakdown (artifact name -> seconds).  Stages
+        shared with an earlier flow of the same comparison, or restored
+        from a persistent store, show their (near-zero) reuse cost — which
+        is what makes stage-sharing speedups visible in ``repro compare``.
+        ``None`` for results produced by the legacy reference pipeline.
     """
 
     name: str
@@ -64,6 +83,7 @@ class FlowResult:
     phase3_report: Optional[Phase3Report] = None
     runtime_seconds: float = 0.0
     cache_stats: Optional[CacheStats] = None
+    stage_timings: Optional[Dict[str, float]] = field(default=None)
 
     @property
     def num_violations(self) -> int:
@@ -93,32 +113,17 @@ def run_gsino(
     ``engine`` supplies the execution backend and (optionally shared)
     solution cache for the per-panel SINO solves of Phases II and III;
     ``None`` solves serially without caching.  Results are bit-identical
-    for every engine configuration.
+    for every engine configuration.  Precomputed ``budgets`` are seeded
+    into the stage graph (memoised in memory, never persisted).
     """
+    # Imported here: the flow layer sits above gsino and imports this module.
+    from repro.flow.flows import BUDGETS, build_context, run_flow
+
     config = config or GsinoConfig()
     engine = engine or Engine()
-    start = time.perf_counter()
-    stats_before = engine.cache_stats()
-
-    if budgets is None:
-        budgets = compute_budgets(netlist, config)
-    phase1 = run_phase1(grid, netlist, config, budgets=budgets)
-    phase2 = run_phase2(phase1.routing, netlist, budgets, config, solver="sino", engine=engine)
-    phase3_report = run_phase3(phase1.routing, phase2, budgets, netlist, config, engine=engine)
-    metrics, congestion = compute_flow_metrics(phase1.routing, phase2.panels, config)
-
-    return FlowResult(
-        name="gsino",
-        routing=phase1.routing,
-        panels=dict(phase2.panels),
-        budgets=budgets,
-        metrics=metrics,
-        congestion=congestion,
-        router_report=phase1.router_report,
-        phase3_report=phase3_report,
-        runtime_seconds=time.perf_counter() - start,
-        cache_stats=None if engine.cache is None else engine.cache_stats() - stats_before,
-    )
+    context = build_context(grid, netlist, config, engine)
+    seeds = None if budgets is None else {BUDGETS: budgets}
+    return run_flow("gsino", context, seeds=seeds)
 
 
 def compare_flows(
@@ -129,25 +134,23 @@ def compare_flows(
 ) -> Dict[str, FlowResult]:
     """Run ID+NO, iSINO and GSINO on the same instance and configuration.
 
-    The two baselines share one baseline routing run (they differ only in the
-    per-region step), exactly as in the paper's experimental setup.  All
-    three flows share one execution engine — and therefore one solution
-    cache — so a panel instance that recurs across flows is solved once.
-    When no engine is supplied a serial engine with a fresh cache is created
-    for the comparison.
+    The three flows are materialised over one stage-graph runner, so every
+    shared ancestor — the baselines' common routing run, the budgets all
+    three read — is computed exactly once per comparison, and all flows
+    share one execution engine (and therefore one solution cache), so a
+    panel instance that recurs across flows is solved once.  When no engine
+    is supplied a serial engine with a fresh cache is created.
 
     Backing the engine's cache with a persistent store
     (``SolutionCache(store=ResultStore(dir))``) extends that guarantee
-    across *processes*: a repeated comparison re-anneals nothing, serving
-    every panel from the store (visible as ``store_hits`` in each flow's
-    ``cache_stats``).
+    across *processes* at panel granularity; passing the same store to
+    :func:`repro.flow.flows.run_compare` directly additionally persists
+    whole stage artifacts, so a repeated comparison executes no stage at
+    all (``repro compare --store DIR`` does both).
     """
-    # Imported here to avoid a circular import (baselines uses FlowResult).
-    from repro.gsino.baselines import run_baseline_flows
+    from repro.flow.flows import build_context, run_compare
 
     config = config or GsinoConfig()
     engine = engine or Engine(cache=SolutionCache())
-    budgets = compute_budgets(netlist, config)
-    results = run_baseline_flows(grid, netlist, config, budgets=budgets, engine=engine)
-    results["gsino"] = run_gsino(grid, netlist, config, budgets=budgets, engine=engine)
-    return results
+    context = build_context(grid, netlist, config, engine)
+    return run_compare(context).results

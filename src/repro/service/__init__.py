@@ -34,10 +34,12 @@ from repro.service.daemon import (
 from repro.service.queue import JOB_STATUSES, Job, JobQueue
 from repro.service.scenarios import (
     SCENARIO_NAMES,
+    FlowScenarioSpec,
     ScenarioSpec,
     generate_scenario,
     list_scenarios,
     register_scenario,
+    scenario_kind,
     scenario_spec,
 )
 from repro.service.scheduler import JobOutcome, Scheduler, batch_compatible
@@ -53,10 +55,12 @@ __all__ = [
     "JobOutcome",
     "batch_compatible",
     "ScenarioSpec",
+    "FlowScenarioSpec",
     "SCENARIO_NAMES",
     "generate_scenario",
     "list_scenarios",
     "register_scenario",
+    "scenario_kind",
     "scenario_spec",
     "ServiceConfig",
     "ServiceDaemon",

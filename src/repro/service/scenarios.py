@@ -2,17 +2,25 @@
 
 The paper exercises exactly three tables' worth of workloads; a long-running
 service needs far more.  A *scenario* is a named, parameterised, seeded
-generator of :class:`~repro.engine.panels.PanelTask` batches — panel width,
-net count, sensitivity mix, Kth bound range, technology node, capacity
-pressure and solver effort are all knobs — so operators can submit diverse
-traffic (``repro submit --scenario dense-bus --param seed=9``) without
-writing code.
+workload description.  Two kinds are registered:
+
+* **Panel scenarios** (:class:`ScenarioSpec`) generate batches of
+  :class:`~repro.engine.panels.PanelTask` — panel width, net count,
+  sensitivity mix, Kth bound range, technology node, capacity pressure and
+  solver effort are all knobs — so operators can submit diverse panel
+  traffic (``repro submit --scenario dense-bus --param seed=9``).
+* **Flow scenarios** (:class:`FlowScenarioSpec`) name a whole stage-graph
+  flow (:mod:`repro.flow`) on a generated benchmark instance — one flow or
+  the full three-flow comparison — so a job can be "run GSINO on a scaled
+  ibm01", not just a bag of panels
+  (``repro submit --scenario flow-compare --param circuit=ibm03``).
 
 Determinism contract: a scenario name plus its (possibly overridden)
-parameters fully determines the generated tasks, bit for bit.  Job records
-therefore store only ``(scenario, params)`` — tiny, JSON-safe — and the
-scheduler regenerates the tasks at execution time; identical submissions
-produce identical panel signatures and hit the result store.
+parameters fully determines the work, bit for bit.  Job records therefore
+store only ``(scenario, params)`` — tiny, JSON-safe — and the scheduler
+regenerates the tasks (or the flow context) at execution time; identical
+submissions produce identical panel/stage signatures and hit the result
+store.
 """
 
 from __future__ import annotations
@@ -20,12 +28,20 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
+from repro.bench.profiles import get_profile
 from repro.engine.panels import PANEL_SOLVERS, PanelTask
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 from repro.sino.panel import SinoProblem
 from repro.tech.itrs import ITRS_100NM, get_technology
+
+#: The flow names a :class:`FlowScenarioSpec` may reference.  A literal
+#: duplicate of :data:`repro.flow.flows.FLOW_NAMES` on purpose: importing
+#: the flow stack here would make every daemon/CLI startup pay for it,
+#: while the scheduler deliberately imports it only when a flow job runs.
+#: ``tests/test_flow.py`` pins the two tuples equal.
+FLOW_SCENARIO_FLOWS: Tuple[str, ...] = ("id_no", "isino", "gsino")
 
 
 @dataclass(frozen=True)
@@ -105,33 +121,94 @@ class ScenarioSpec:
         submission fails here — before a job record is written — rather than
         burning the daemon's retry budget on a job that can never run.
         """
-        if not params:
-            return self
-        known = {spec_field.name for spec_field in fields(self)} - {"name", "description"}
-        unknown = sorted(set(params) - known)
-        if unknown:
-            raise ValueError(
-                f"unknown scenario parameter(s) {unknown}; overridable: {sorted(known)}"
-            )
-        coerced = {key: self._coerce(key, value) for key, value in params.items()}
-        return replace(self, **coerced)  # type: ignore[arg-type]
+        return _apply_params(self, params)
 
-    def _coerce(self, key: str, value: object) -> object:
-        """Type-check one override against the field it replaces."""
-        current = getattr(self, key)
-        if isinstance(current, bool) or isinstance(value, bool):
-            raise ValueError(f"scenario parameter {key!r} does not accept {value!r}")
-        if isinstance(current, int):
-            if not isinstance(value, int):
-                raise ValueError(f"scenario parameter {key!r} must be an integer, got {value!r}")
-            return value
-        if isinstance(current, float):
-            if not isinstance(value, (int, float)):
-                raise ValueError(f"scenario parameter {key!r} must be a number, got {value!r}")
-            return float(value)
-        if not isinstance(value, str):
-            raise ValueError(f"scenario parameter {key!r} must be a string, got {value!r}")
+
+def _coerce_param(spec: object, key: str, value: object) -> object:
+    """Type-check one override against the field it replaces."""
+    current = getattr(spec, key)
+    if isinstance(current, bool) or isinstance(value, bool):
+        raise ValueError(f"scenario parameter {key!r} does not accept {value!r}")
+    if isinstance(current, int):
+        if not isinstance(value, int):
+            raise ValueError(f"scenario parameter {key!r} must be an integer, got {value!r}")
         return value
+    if isinstance(current, float):
+        if not isinstance(value, (int, float)):
+            raise ValueError(f"scenario parameter {key!r} must be a number, got {value!r}")
+        return float(value)
+    if not isinstance(value, str):
+        raise ValueError(f"scenario parameter {key!r} must be a string, got {value!r}")
+    return value
+
+
+def _apply_params(spec, params: Dict[str, object]):
+    """Shared override machinery of both scenario kinds (see ``with_params``)."""
+    if not params:
+        return spec
+    known = {spec_field.name for spec_field in fields(spec)} - {"name", "description"}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown scenario parameter(s) {unknown}; overridable: {sorted(known)}"
+        )
+    coerced = {key: _coerce_param(spec, key, value) for key, value in params.items()}
+    return replace(spec, **coerced)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FlowScenarioSpec:
+    """A whole stage-graph flow run as a service workload.
+
+    Attributes
+    ----------
+    name / description:
+        Registry identity and a one-line summary for ``repro submit --list``.
+    flow:
+        One of :data:`FLOW_SCENARIO_FLOWS` or ``"compare"`` (all three
+        flows over one shared runner, exactly like ``repro compare``).
+    circuit / sensitivity_rate / scale / seed:
+        The generated benchmark instance (same knobs as the experiment
+        drivers; the electrical length scale is derived from ``scale``).
+    effort:
+        Per-region SINO effort level of every panel solve.
+    """
+
+    name: str
+    description: str
+    flow: str = "compare"
+    circuit: str = "ibm01"
+    sensitivity_rate: float = 0.3
+    scale: float = 0.01
+    seed: int = 7
+    effort: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.flow != "compare" and self.flow not in FLOW_SCENARIO_FLOWS:
+            raise ValueError(
+                f"flow must be 'compare' or one of {FLOW_SCENARIO_FLOWS}, got {self.flow!r}"
+            )
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must lie in (0, 1], got {self.scale}")
+        if not 0.0 <= self.sensitivity_rate <= 1.0:
+            raise ValueError(
+                f"sensitivity_rate must lie in [0, 1], got {self.sensitivity_rate}"
+            )
+        if self.effort not in EFFORT_LEVELS:
+            raise ValueError(f"effort must be one of {EFFORT_LEVELS}, got {self.effort!r}")
+        get_profile(self.circuit)  # fail fast on unknown benchmarks
+
+    def flow_names(self) -> Tuple[str, ...]:
+        """The flows this scenario runs, in canonical order."""
+        return FLOW_SCENARIO_FLOWS if self.flow == "compare" else (self.flow,)
+
+    def with_params(self, params: Dict[str, object]) -> "FlowScenarioSpec":
+        """A copy with submit-time overrides applied (unknown keys rejected)."""
+        return _apply_params(self, params)
+
+
+#: Either kind of registered scenario.
+AnyScenarioSpec = Union[ScenarioSpec, FlowScenarioSpec]
 
 
 def generate_scenario(name: str, params: Dict[str, object] | None = None) -> List[PanelTask]:
@@ -142,6 +219,11 @@ def generate_scenario(name: str, params: Dict[str, object] | None = None) -> Lis
     seed ``seed + i`` so annealing panels are independent but reproducible.
     """
     spec = scenario_spec(name).with_params(dict(params or {}))
+    if isinstance(spec, FlowScenarioSpec):
+        raise ValueError(
+            f"scenario {name!r} is a flow scenario; the scheduler runs it through "
+            "the stage-graph runner, not as a panel-task batch"
+        )
     technology = get_technology(spec.technology)
     # Stylised node effect: bounds scale with Vdd relative to the paper's node.
     bound_scale = technology.vdd / ITRS_100NM.vdd
@@ -183,18 +265,18 @@ def generate_scenario(name: str, params: Dict[str, object] | None = None) -> Lis
 
 # -- registry --------------------------------------------------------------------------
 
-_REGISTRY: Dict[str, ScenarioSpec] = {}
+_REGISTRY: Dict[str, AnyScenarioSpec] = {}
 
 
-def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
-    """Add a scenario to the registry (name must be unused)."""
+def register_scenario(spec: AnyScenarioSpec) -> AnyScenarioSpec:
+    """Add a scenario (panel or flow kind) to the registry (name must be unused)."""
     if spec.name in _REGISTRY:
         raise ValueError(f"scenario {spec.name!r} is already registered")
     _REGISTRY[spec.name] = spec
     return spec
 
 
-def scenario_spec(name: str) -> ScenarioSpec:
+def scenario_spec(name: str) -> AnyScenarioSpec:
     """Look a scenario up by name."""
     try:
         return _REGISTRY[name]
@@ -202,6 +284,11 @@ def scenario_spec(name: str) -> ScenarioSpec:
         raise KeyError(
             f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
         ) from None
+
+
+def scenario_kind(name: str) -> str:
+    """``"flow"`` or ``"panels"`` — how the scheduler must execute a scenario."""
+    return "flow" if isinstance(scenario_spec(name), FlowScenarioSpec) else "panels"
 
 
 def list_scenarios() -> List[Tuple[str, str]]:
@@ -295,6 +382,27 @@ register_scenario(
         min_segments=6,
         max_segments=12,
         sensitivity_rate=0.3,
+    )
+)
+register_scenario(
+    FlowScenarioSpec(
+        name="flow-compare",
+        description="stage-graph comparison of ID+NO, iSINO and GSINO on a scaled circuit",
+        flow="compare",
+    )
+)
+register_scenario(
+    FlowScenarioSpec(
+        name="flow-gsino",
+        description="the three-phase GSINO stage graph on a scaled circuit",
+        flow="gsino",
+    )
+)
+register_scenario(
+    FlowScenarioSpec(
+        name="flow-isino",
+        description="the iSINO baseline stage graph on a scaled circuit",
+        flow="isino",
     )
 )
 

@@ -24,12 +24,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.engine.cache import CacheStats
 from repro.engine.panels import Engine, PanelTask
 from repro.service.queue import Job, JobQueue
-from repro.service.scenarios import generate_scenario
+from repro.service.scenarios import FlowScenarioSpec, generate_scenario, scenario_spec
 
 
 @dataclass
 class JobOutcome:
-    """Summary of one finished job execution (JSON-safe via ``to_dict``)."""
+    """Summary of one finished job execution (JSON-safe via ``to_dict``).
+
+    ``flows`` and ``stages`` are populated only for flow-scenario jobs: the
+    Table 1–3 headline numbers per flow, and the stage-graph execution
+    counters (``executed`` / ``restored`` / ``shared``) — the latter is how
+    operators see a warm store serving a whole flow without recomputation.
+    """
 
     panels: int = 0
     batches: int = 0
@@ -38,9 +44,11 @@ class JobOutcome:
     valid_panels: int = 0
     runtime_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
+    flows: Optional[Dict[str, Dict[str, object]]] = None
+    stages: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "panels": self.panels,
             "batches": self.batches,
             "shields": self.shields,
@@ -53,6 +61,11 @@ class JobOutcome:
                 "store_hits": self.cache.store_hits,
             },
         }
+        if self.flows is not None:
+            payload["flows"] = self.flows
+        if self.stages is not None:
+            payload["stages"] = self.stages
+        return payload
 
 
 def batch_compatible(
@@ -148,6 +161,9 @@ class Scheduler:
         return job
 
     def _execute(self, job: Job) -> JobOutcome:
+        spec = scenario_spec(job.scenario)
+        if isinstance(spec, FlowScenarioSpec):
+            return self._execute_flow(job, spec.with_params(dict(job.params)))
         tasks = generate_scenario(job.scenario, job.params)
         outcome = JobOutcome()
         for batch in batch_compatible(tasks, max_size=self.batch_size):
@@ -162,6 +178,61 @@ class Scheduler:
                 outcome.shields += solution.num_shields
                 outcome.tracks += solution.num_tracks
                 outcome.valid_panels += int(solution.is_valid())
+        return outcome
+
+    def _execute_flow(self, job: Job, spec: FlowScenarioSpec) -> JobOutcome:
+        """Run a flow scenario through the stage-graph runner.
+
+        The job's flows share this scheduler's engine — and therefore its
+        two-tier solution cache — and, when the engine's cache is backed by
+        a :class:`~repro.service.store.ResultStore`, the same store doubles
+        as the persistent stage-artifact tier, so a repeated flow job
+        restores whole stages instead of re-solving panels one by one.
+        Cancellation is honoured between flows (the stage batch boundary of
+        this job kind); ``on_batch`` fires there too, keeping the daemon's
+        heartbeat fresh during a long comparison.
+        """
+        # Imported here: the scheduler is imported by the daemon at startup,
+        # and the flow/bench stack is only needed once a flow job runs.
+        from repro.bench.ibm import generate_circuit
+        from repro.flow.flows import build_context, run_flow
+        from repro.flow.runner import FlowRunner
+        from repro.gsino.config import GsinoConfig
+
+        circuit = generate_circuit(
+            spec.circuit,
+            sensitivity_rate=spec.sensitivity_rate,
+            scale=spec.scale,
+            seed=spec.seed,
+        )
+        config = GsinoConfig(
+            length_scale=1.0 / (spec.scale**0.5), sino_effort=spec.effort
+        )
+        context = build_context(circuit.grid, circuit.netlist, config, self.engine)
+        layout_store = None if self.engine.cache is None else self.engine.cache.store
+        artifact_store = layout_store if hasattr(layout_store, "get_artifact") else None
+        runner = FlowRunner(context, store=artifact_store)
+        outcome = JobOutcome(flows={})
+        for name in spec.flow_names():
+            if self.on_batch is not None:
+                self.on_batch(job)
+            if job.cancel_requested:
+                break
+            result = run_flow(name, context, runner=runner)
+            outcome.batches += 1
+            outcome.panels += len(result.panels)
+            outcome.shields += result.metrics.total_shields
+            for solution in result.panels.values():
+                outcome.tracks += solution.num_tracks
+                outcome.valid_panels += int(solution.is_valid())
+            assert outcome.flows is not None
+            outcome.flows[name] = {
+                "violations": result.metrics.crosstalk.num_violations,
+                "average_wirelength_um": result.metrics.average_wirelength_um,
+                "routing_area_um2": result.metrics.area.area,
+                "shields": result.metrics.total_shields,
+            }
+        outcome.stages = runner.outcome_counts()
         return outcome
 
     def drain(self, max_jobs: Optional[int] = None) -> List[Job]:

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
-from repro.engine.signature import SIGNATURE_VERSION
+from repro.engine.signature import SIGNATURE_VERSION, STAGE_SIGNATURE_VERSION
 
 #: Version of the on-disk layout described above; bump on incompatible change.
 FORMAT_VERSION = 1
@@ -283,8 +283,62 @@ class ResultStore:
         with self._lock:
             self._corrupt += 1
 
-    def put_layout(self, signature: str, layout: Layout) -> None:
-        """Persist one layout (idempotent; atomic on disk).
+    # -- artifact protocol (used by repro.flow.FlowRunner) -------------------------
+
+    def get_artifact(self, signature: str) -> Optional[dict]:
+        """The stored stage-artifact payload for ``signature``, or ``None``.
+
+        Stage artifacts share the blob tree (and therefore the LRU clock,
+        eviction and gc) with panel layouts; their signatures live in a
+        different token namespace (:func:`repro.engine.signature
+        .stage_signature`), so the two blob kinds can never collide.  A
+        payload written under another stage-signature scheme version is a
+        miss, not corruption — the signature itself could never be recomputed
+        under the current scheme, so the blob is just dead weight awaiting
+        eviction.
+        """
+        path = self._blob_path(signature)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._drop_corrupt(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("signature") != signature
+            or not isinstance(payload.get("artifact"), dict)
+        ):
+            self._drop_corrupt(path)
+            return None
+        if payload.get("stage_signature_version") != STAGE_SIGNATURE_VERSION:
+            # Another scheme version is a plain miss, not corruption: the
+            # blob is intact, just dead weight awaiting eviction.
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # concurrently evicted; the payload we read is still good
+        with self._lock:
+            self._hits += 1
+        return payload["artifact"]
+
+    def put_artifact(self, signature: str, artifact: dict) -> None:
+        """Persist one stage-artifact payload (idempotent; atomic on disk)."""
+        payload = {
+            "signature": signature,
+            "stage_signature_version": STAGE_SIGNATURE_VERSION,
+            "artifact": artifact,
+        }
+        self._write_blob(signature, json.dumps(payload))
+
+    def _write_blob(self, signature: str, text: str) -> None:
+        """Atomic write + size accounting + over-cap gc, for both blob kinds.
 
         With a size cap, eviction is only attempted once the running size
         estimate exceeds it — a full directory scan per write would make a
@@ -292,12 +346,6 @@ class ResultStore:
         """
         path = self._blob_path(signature)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "signature": signature,
-            "signature_version": SIGNATURE_VERSION,
-            "layout": list(layout),
-        }
-        text = json.dumps(payload)
         atomic_write_text(path, text)
         with self._lock:
             self._writes += 1
@@ -305,6 +353,15 @@ class ResultStore:
             over_cap = self.max_bytes is not None and self._approx_bytes > self.max_bytes
         if over_cap:
             self.gc(self.max_bytes)
+
+    def put_layout(self, signature: str, layout: Layout) -> None:
+        """Persist one layout (idempotent; atomic on disk; see ``_write_blob``)."""
+        payload = {
+            "signature": signature,
+            "signature_version": SIGNATURE_VERSION,
+            "layout": list(layout),
+        }
+        self._write_blob(signature, json.dumps(payload))
 
     # -- maintenance --------------------------------------------------------------
 

@@ -146,11 +146,12 @@ class TestCommands:
         cold = capsys.readouterr().out
         assert "persistent store:" in cold and "cold solves" in cold
         # A fresh engine (new in-memory cache) over the same store directory:
-        # every panel must come from disk, none may be re-solved.
+        # whole stage artifacts come from disk, so nothing is re-solved —
+        # the panel cache is not even consulted.
         assert main(command) == 0
         warm = capsys.readouterr().out
         assert "zero redundant solves" in warm
-        assert "from disk]" in warm  # store hits surfaced per flow and in total
+        assert "stage graph: 0 executed" in warm
 
     @pytest.mark.parametrize("verb", ["compare", "tables"])
     def test_store_conflicts_with_no_cache(self, tmp_path, verb):
