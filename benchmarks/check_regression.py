@@ -1,0 +1,109 @@
+"""Benchmark regression gate: compare a fresh run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_smoke.json [benchmarks/baseline.json]
+
+Reads the medians of a pytest-benchmark ``--benchmark-json`` result and
+compares each benchmark (matched by ``fullname``) against
+``benchmarks/baseline.json``.  The gate fails (exit 1) when any benchmark's
+median exceeds its baseline median by more than the allowed ratio —
+``REPRO_BENCH_MAX_REGRESSION`` (default **1.25**, i.e. a >25% slowdown).
+
+Benchmarks absent from the baseline (newly added) pass with a note; update
+the baseline by regenerating it from a trusted run::
+
+    python benchmarks/check_regression.py --update BENCH_smoke.json
+
+which rewrites ``benchmarks/baseline.json`` from that run's medians (commit
+the result).  ``REPRO_BENCH_SKIP_REGRESSION=1`` turns the gate into a
+report-only pass, for machines whose absolute timings are not comparable to
+the baseline host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+MAX_REGRESSION = float(os.environ.get("REPRO_BENCH_MAX_REGRESSION", "1.25"))
+
+
+def load_medians(path: Path) -> dict:
+    """``{fullname: median_seconds}`` of a pytest-benchmark JSON result."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    medians = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats") or {}
+        median = stats.get("median")
+        if isinstance(median, (int, float)):
+            medians[bench["fullname"]] = float(median)
+    return medians
+
+
+def write_baseline(baseline_path: Path, current_path: Path) -> None:
+    medians = load_medians(current_path)
+    payload = {
+        "comment": (
+            "Median seconds of the CI bench-smoke run; regenerate with "
+            "`python benchmarks/check_regression.py --update BENCH_smoke.json` "
+            "after an intentional perf change."
+        ),
+        "generated_at": time.strftime("%Y-%m-%d", time.gmtime()),
+        "scale": os.environ.get("REPRO_BENCH_SCALE"),
+        "medians": {name: round(value, 6) for name, value in sorted(medians.items())},
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"baseline written: {baseline_path} ({len(medians)} benchmark(s))")
+
+
+def main(argv: list) -> int:
+    args = [arg for arg in argv if not arg.startswith("--")]
+    update = "--update" in argv
+    if not args:
+        print(__doc__)
+        return 2
+    current_path = Path(args[0])
+    baseline_path = Path(
+        args[1] if len(args) > 1 else os.environ.get("REPRO_BENCH_BASELINE", DEFAULT_BASELINE)
+    )
+    if update:
+        write_baseline(baseline_path, current_path)
+        return 0
+    current = load_medians(current_path)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update to seed one")
+        return 1
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8")).get("medians", {})
+    skip = os.environ.get("REPRO_BENCH_SKIP_REGRESSION") == "1"
+    failures = []
+    for name, median in sorted(current.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"  NEW    {name}: {median:.4f}s (no baseline; passes)")
+            continue
+        ratio = median / reference if reference > 0 else float("inf")
+        verdict = "ok" if ratio <= MAX_REGRESSION else "SLOW"
+        print(f"  {verdict:6s} {name}: {median:.4f}s vs baseline {reference:.4f}s ({ratio:.2f}x)")
+        if ratio > MAX_REGRESSION:
+            failures.append((name, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  GONE   {name}: in baseline but not in this run (filter changed?)")
+    if failures and not skip:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
+            f"{(MAX_REGRESSION - 1.0) * 100:.0f}% (REPRO_BENCH_MAX_REGRESSION={MAX_REGRESSION})"
+        )
+        return 1
+    if failures and skip:
+        print("\nregressions found, but REPRO_BENCH_SKIP_REGRESSION=1 — reporting only")
+    print(f"\nregression gate passed ({len(current)} benchmark(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -40,6 +40,14 @@ The service verbs run GSINO as a long-lived system (see
     python -m repro.cli status --root svc
     python -m repro.cli cancel --root svc JOB_ID
     python -m repro.cli gc     --root svc --max-mb 64 --purge-jobs
+
+``serve --workers K`` scales the same spool across a supervised local fleet
+of K lease-claiming worker processes; ``status --cluster`` shows per-worker
+liveness, leases and throughput, and ``loadgen`` measures the fleet::
+
+    python -m repro.cli serve   --root svc --workers 3 --lease-ttl 10 &
+    python -m repro.cli loadgen --root svc --scenario dense-bus --jobs 24
+    python -m repro.cli status  --root svc --cluster
 """
 
 from __future__ import annotations
@@ -73,16 +81,22 @@ from repro.flow.runner import FlowRunner, StageExecution
 from repro.gsino.config import GsinoConfig
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
 from repro.service import (
+    ClusterConfig,
+    ClusterSupervisor,
+    ClusterWorker,
     ResultStore,
     ServiceConfig,
     ServiceDaemon,
+    WorkerConfig,
     gc_service,
     list_scenarios,
     request_cancel,
+    run_loadgen,
     service_status,
     submit_job,
     wait_for_job,
 )
+from repro.service.cluster import format_loadgen_report
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 
 
@@ -226,20 +240,47 @@ def _add_root_argument(parser: argparse.ArgumentParser, required: bool = True) -
 
 
 def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
-    parser = subparsers.add_parser("serve", help="run the job-service daemon")
+    parser = subparsers.add_parser(
+        "serve", help="run the job service (single daemon, or --workers K for a cluster)"
+    )
     _add_root_argument(parser)
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="run a supervised local cluster of K worker processes over the "
+        "spool (lease-based claiming; default: one in-process daemon)",
+    )
     parser.add_argument(
         "--backend",
         choices=list(BACKEND_NAMES),
         default="serial",
-        help="execution backend for panel batches",
+        help="execution backend for panel batches (per worker in a cluster)",
     )
     parser.add_argument(
-        "--workers", type=_positive_int, default=None, help="worker count for parallel backends"
+        "--backend-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="pool size of a parallel --backend (default: CPU count)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help="cluster job-lease time-to-live; an expired lease of a dead "
+        "worker is reclaimed by any surviving peer",
     )
     parser.add_argument(
         "--poll", type=_positive_float, default=0.5, metavar="SECONDS", help="spool poll interval"
     )
+    # Internal: how the supervisor runs each fleet member.  Operators use
+    # `--workers K`; these exist so a worker process is just another
+    # `repro serve` invocation.
+    parser.add_argument("--cluster-worker", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--worker-label", default="worker", help=argparse.SUPPRESS)
     parser.add_argument(
         "--store-max-mb",
         type=_positive_float,
@@ -297,6 +338,45 @@ def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser("status", help="report daemon, job, cache and store state")
     _add_root_argument(parser)
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="include per-worker liveness, leases and throughput",
+    )
+
+
+def _add_loadgen_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "loadgen", help="submit a burst of scenario jobs and report latency/throughput"
+    )
+    _add_root_argument(parser)
+    parser.add_argument("--scenario", default="smoke", help="registered scenario name")
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=12, help="burst size (distinct derived seeds)"
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter override applied to every job (repeatable)",
+    )
+    parser.add_argument("--priority", type=int, default=0, help="higher runs first")
+    parser.add_argument(
+        "--max-attempts", type=_positive_int, default=2, help="executions before a job fails"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=300.0,
+        metavar="SECONDS",
+        help="how long to wait for the burst to finish",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit the burst and return immediately (no report)",
+    )
 
 
 def _add_cancel_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -334,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_parser(subparsers)
     _add_submit_parser(subparsers)
     _add_status_parser(subparsers)
+    _add_loadgen_parser(subparsers)
     _add_cancel_parser(subparsers)
     _add_gc_parser(subparsers)
     return parser
@@ -530,10 +611,52 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.cluster_worker:
+        worker = ClusterWorker(
+            WorkerConfig(
+                root=args.root,
+                label=args.worker_label,
+                backend=args.backend,
+                backend_workers=args.backend_workers,
+                poll_interval=args.poll,
+                lease_ttl=args.lease_ttl,
+                store_max_bytes=_mb_to_bytes(args.store_max_mb),
+            )
+        )
+        print(f"worker {worker.identity.worker_id} serving {args.root}", flush=True)
+        finished = worker.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+        print(
+            f"worker {worker.identity.worker_id} finished {finished} job(s), "
+            f"reclaimed {worker.jobs_reclaimed} lease(s)"
+        )
+        return 0
+    if args.workers is not None:
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                root=args.root,
+                workers=args.workers,
+                backend=args.backend,
+                backend_workers=args.backend_workers,
+                poll_interval=args.poll,
+                lease_ttl=args.lease_ttl,
+                store_max_bytes=_mb_to_bytes(args.store_max_mb),
+            )
+        )
+        print(
+            f"cluster serving {args.root} with {args.workers} worker(s) "
+            f"[backend={args.backend}, lease_ttl={args.lease_ttl:.1f}s]",
+            flush=True,
+        )
+        finished = supervisor.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+        print(
+            f"cluster served {finished} job(s) across {args.workers} worker(s) "
+            f"({supervisor.restarts} restart(s))"
+        )
+        return 0
     config = ServiceConfig(
         root=args.root,
         backend=args.backend,
-        workers=args.workers,
+        workers=args.backend_workers,
         poll_interval=args.poll,
         store_max_bytes=_mb_to_bytes(args.store_max_mb),
     )
@@ -543,6 +666,28 @@ def _run_serve(args: argparse.Namespace) -> int:
     stats = daemon.engine.cache_stats()
     print(f"served {finished} job(s); cache {stats} over {len(daemon.store)} stored layouts")
     return 0
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    try:
+        report = run_loadgen(
+            args.root,
+            scenario=args.scenario,
+            jobs=args.jobs,
+            params=_parse_params(args.param),
+            priority=args.priority,
+            max_attempts=args.max_attempts,
+            timeout=args.timeout,
+            wait=not args.no_wait,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"loadgen rejected: {message}") from None
+    for line in format_loadgen_report(report):
+        print(line)
+    if args.no_wait:
+        return 0
+    return 0 if report.done == report.submitted else 1
 
 
 def _run_submit(args: argparse.Namespace) -> int:
@@ -629,12 +774,53 @@ def _render_status(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _render_cluster(cluster: Optional[Dict[str, object]]) -> str:
+    """The ``status --cluster`` section: workers, reclaim totals, leases."""
+    if not cluster or not (cluster.get("workers") or cluster.get("leases")):
+        return "cluster: no workers have served this root"
+    workers = cluster.get("workers") or {}
+    alive = sum(1 for info in workers.values() if info.get("alive"))
+    done = sum(int((info.get("heartbeat") or {}).get("jobs_done", 0)) for info in workers.values())
+    failed = sum(
+        int((info.get("heartbeat") or {}).get("jobs_failed", 0)) for info in workers.values()
+    )
+    reclaimed = sum(
+        int((info.get("heartbeat") or {}).get("jobs_reclaimed", 0)) for info in workers.values()
+    )
+    lines = [
+        f"cluster: {len(workers)} workers ({alive} alive), {done} done, "
+        f"{failed} failed, {reclaimed} reclaimed"
+    ]
+    for worker_id, info in sorted(workers.items()):
+        heartbeat = info.get("heartbeat") or {}
+        stale = "stopped" if heartbeat.get("stopped") else "stale"
+        state = "alive" if info.get("alive") else stale
+        lease = heartbeat.get("lease") or "-"
+        lines.append(
+            f"  {worker_id:24s} {state:7s} pid={heartbeat.get('pid')} "
+            f"hb={info.get('heartbeat_age', 0.0):.1f}s "
+            f"done={heartbeat.get('jobs_done', 0)} failed={heartbeat.get('jobs_failed', 0)} "
+            f"reclaimed={heartbeat.get('jobs_reclaimed', 0)} "
+            f"throughput={info.get('throughput_jobs_per_s', 0.0):.2f} jobs/s lease={lease}"
+        )
+    for lease in cluster.get("leases") or []:
+        expires = lease.get("expires_in")
+        expiry_note = f", expires in {expires:.1f}s" if expires is not None else ""
+        lines.append(
+            f"  lease: {lease['job_id']} held by {lease['worker_id']} "
+            f"(age {lease['age_seconds']:.1f}s{expiry_note})"
+        )
+    return "\n".join(lines)
+
+
 def _run_status(args: argparse.Namespace) -> int:
     report = service_status(args.root)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
         print(_render_status(report))
+        if args.cluster:
+            print(_render_cluster(report.get("cluster")))
     return 0
 
 
@@ -650,7 +836,10 @@ def _run_gc(args: argparse.Namespace) -> int:
     report = gc_service(
         args.root, max_bytes=_mb_to_bytes(args.max_mb), purge_jobs=args.purge_jobs
     )
-    print(f"evicted {report['evicted_blobs']} blob(s), purged {report['purged_jobs']} job(s)")
+    print(
+        f"evicted {report['evicted_blobs']} blob(s), purged {report['purged_jobs']} job(s), "
+        f"swept {report['purged_workers']} dead worker(s)"
+    )
     return 0
 
 
@@ -658,7 +847,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if getattr(args, "workers", None) is not None and args.backend == "serial":
+    if args.command == "serve":
+        # On `serve`, --workers is the cluster size; the engine pool inside
+        # each worker is --backend-workers and needs a parallel backend.
+        if args.backend_workers is not None and args.backend == "serial":
+            parser.error("--backend-workers requires a parallel backend (thread|process)")
+    elif getattr(args, "workers", None) is not None and args.backend == "serial":
         parser.error("--workers requires a parallel backend (--backend thread|process)")
     if getattr(args, "store", None) is not None and getattr(args, "no_cache", False):
         parser.error("--store requires the panel cache (drop --no-cache)")
@@ -675,6 +869,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _run_serve,
         "submit": _run_submit,
         "status": _run_status,
+        "loadgen": _run_loadgen,
         "cancel": _run_cancel,
         "gc": _run_gc,
     }

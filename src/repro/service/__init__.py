@@ -17,11 +17,26 @@ backends) builds on:
   synthetic workloads far beyond the paper's three tables;
 * :mod:`repro.service.daemon` — the long-running service process behind the
   ``repro serve`` / ``submit`` / ``status`` / ``gc`` CLI verbs, with a
-  file-based job spool so submitters never need a network connection.
+  file-based job spool so submitters never need a network connection;
+* :mod:`repro.service.cluster` — the multi-worker layer on the same spool:
+  atomic lease-based claiming, per-worker heartbeats, crash reclaim, the
+  ``repro serve --workers K`` local fleet supervisor and the
+  ``repro loadgen`` burst harness.
 
-See DESIGN.md §"Service layer" for the on-disk formats and versioning rules.
+See DESIGN.md §"Service layer" / §"Cluster layer" for the on-disk formats
+and versioning rules.
 """
 
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterSupervisor,
+    ClusterWorker,
+    LeaseManager,
+    LoadgenReport,
+    WorkerConfig,
+    WorkerIdentity,
+    run_loadgen,
+)
 from repro.service.daemon import (
     ServiceConfig,
     ServiceDaemon,
@@ -48,6 +63,14 @@ from repro.service.store import ResultStore, StoreStats
 __all__ = [
     "ResultStore",
     "StoreStats",
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "ClusterWorker",
+    "LeaseManager",
+    "LoadgenReport",
+    "WorkerConfig",
+    "WorkerIdentity",
+    "run_loadgen",
     "Job",
     "JobQueue",
     "JOB_STATUSES",

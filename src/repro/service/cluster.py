@@ -1,0 +1,1132 @@
+"""Multi-worker service cluster over the shared file spool.
+
+The :class:`~repro.service.daemon.ServiceDaemon` from the single-process
+service layer drains the whole spool from one loop, so throughput is capped
+at one worker.  This module turns the same on-disk spool into shared cluster
+state — N cooperating worker processes, no new dependencies, no network —
+by adding two directories next to ``jobs/``::
+
+    <root>/
+        jobs/<job_id>.json                  # queued + terminal records (unchanged)
+        leases/<worker_id>/<job_id>.json    # claimed (running) records
+        workers/<worker_id>.json            # per-worker heartbeats
+
+**Claiming is an atomic rename.**  A worker claims a queued job by renaming
+``jobs/<id>.json`` into its own lease directory.  The filesystem serialises
+renames of one source path, so exactly one of N racing workers wins (the
+losers see ``ENOENT`` and move to the next candidate) — that rename *is*
+the deterministic tie-break; no double execution is possible.  The winner
+then rewrites the lease as a record carrying its worker id, the incremented
+attempt count and an expiry, and appends an entry to the job's
+``executions`` history (the exactly-once audit trail the cluster-smoke CI
+job greps).
+
+**Liveness is heartbeat + lease expiry.**  Every worker heartbeats
+``workers/<worker_id>.json`` and refreshes its active lease (rewriting it
+bumps the file mtime, the authoritative lease clock) at every batch
+boundary *and* from a background pulse thread, so even a single batch
+longer than the lease TTL cannot get a live worker's job reclaimed.  A
+lease is *reclaimable* only when both signals agree the owner is gone:
+the lease mtime is older than its TTL **and** the owner's heartbeat is
+stale.  Reclaiming is again an atomic rename (lease → a
+reclaimer-private temp), so concurrent reclaimers cannot duplicate a job;
+the winner re-queues the record into ``jobs/`` with its attempt count
+preserved — or fails it when the retry budget is spent — and any surviving
+peer picks it up.  See DESIGN.md §"Cluster layer" for the full lease
+state machine.
+
+:class:`ClusterSupervisor` runs the local fleet behind ``repro serve
+--workers K``: it spawns K worker processes over one root, restarts workers
+that die, and exits once the spool has been idle long enough.
+:func:`run_loadgen` (the ``repro loadgen`` verb) submits a seed-striped
+burst of scenario jobs and reports aggregate latency percentiles and
+throughput — the measurement harness of
+``benchmarks/bench_cluster_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.backends import create_backend
+from repro.engine.cache import SolutionCache
+from repro.engine.panels import Engine
+from repro.service.daemon import (
+    STALE_HEARTBEAT_SECONDS,
+    heartbeat_is_fresh,
+    submit_job,
+)
+from repro.service.queue import TERMINAL_STATUSES, Job
+from repro.service.scheduler import Scheduler
+from repro.service.scenarios import scenario_spec
+from repro.service.store import ResultStore, atomic_write_text
+
+#: Worker heartbeats older than this are stale (scaled by the poll interval,
+#: exactly like the daemon's threshold, but tighter: a cluster wants crashed
+#: peers detected — and their leases reclaimed — promptly).
+WORKER_STALE_SECONDS = 5.0
+
+#: Default seconds a lease stays valid without a refresh.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def _workers_dir(root: Path) -> Path:
+    return root / "workers"
+
+
+def _leases_dir(root: Path) -> Path:
+    return root / "leases"
+
+
+def _jobs_dir(root: Path) -> Path:
+    return root / "jobs"
+
+
+def worker_is_alive(heartbeat: Dict[str, object]) -> bool:
+    """Whether a worker heartbeat indicates a live process.
+
+    Same contract as :func:`~repro.service.daemon.heartbeat_is_fresh`
+    (a ``stopped`` heartbeat is never alive; the age threshold scales with
+    the poll interval) but with the tighter cluster staleness bound — the
+    single definition both ``status --cluster`` and lease reclaim use.
+    """
+    if heartbeat.get("stopped"):
+        return False
+    age = time.time() - float(heartbeat.get("updated_at", 0.0))
+    return age < max(WORKER_STALE_SECONDS, 3.0 * float(heartbeat.get("poll_interval", 0.0)))
+
+
+def read_worker_heartbeats(root: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """Every worker heartbeat under ``root``, keyed by worker id."""
+    heartbeats: Dict[str, Dict[str, object]] = {}
+    workers = _workers_dir(Path(root))
+    for path in sorted(workers.glob("*.json")) if workers.exists() else []:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue  # mid-rewrite; the next status call sees it
+        if isinstance(payload, dict):
+            heartbeats[path.stem] = payload
+    return heartbeats
+
+
+@dataclass(frozen=True)
+class WorkerIdentity:
+    """Identity of one cluster worker process.
+
+    The ``worker_id`` names the worker's lease directory and heartbeat
+    file; it embeds the pid for operators and a random suffix so a
+    restarted worker (same label, new process) can never be confused with
+    its predecessor's stale lease directory or heartbeat.
+    """
+
+    worker_id: str
+    pid: int
+    started_at: float
+
+    @classmethod
+    def create(cls, label: str = "worker") -> "WorkerIdentity":
+        pid = os.getpid()
+        return cls(
+            worker_id=f"{label}-{pid}-{uuid.uuid4().hex[:6]}",
+            pid=pid,
+            started_at=time.time(),
+        )
+
+
+class LeaseManager:
+    """Atomic lease-based job claiming over one spool directory.
+
+    All mutual exclusion is the filesystem's: claims and reclaims are
+    single ``os.rename`` calls, of which exactly one of any set of racers
+    succeeds.  The lease file's mtime is the authoritative lease clock
+    (refreshing a lease rewrites it); the JSON body carries the worker id,
+    attempt count and an informational expiry for ``status --cluster``.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        identity: WorkerIdentity,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.root = Path(root)
+        self.identity = identity
+        self.lease_ttl = lease_ttl
+        self.my_dir = _leases_dir(self.root) / identity.worker_id
+        self.my_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------------
+
+    def _job_path(self, job_id: str) -> Path:
+        return _jobs_dir(self.root) / f"{job_id}.json"
+
+    def lease_path(self, job_id: str) -> Path:
+        return self.my_dir / f"{job_id}.json"
+
+    # -- claim / refresh / release --------------------------------------------------
+
+    def claim(self, job_id: str) -> Optional[Job]:
+        """Try to claim a queued job; ``None`` when another worker won.
+
+        The rename is the claim: after it succeeds this worker owns the
+        record exclusively, so the subsequent read-modify-write (status →
+        ``running``, attempts incremented, execution entry appended) is
+        race-free.  A record that turns out to be unusable (unparsable,
+        not queued) is put back where it was found.
+        """
+        source = self._job_path(job_id)
+        lease = self.lease_path(job_id)
+        try:
+            os.rename(source, lease)
+        except OSError:
+            return None  # a peer claimed it first (or it was never there)
+        try:
+            job = Job.from_dict(json.loads(lease.read_text(encoding="utf-8")))
+            if job.job_id != job_id or job.status != "queued":
+                job = None
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            job = None
+        if job is None:
+            # Not claimable after all — return the file unharmed.
+            try:
+                os.rename(lease, source)
+            except OSError:
+                pass
+            return None
+        job.status = "running"
+        job.attempts += 1
+        job.record_claim(self.identity.worker_id)
+        self.write_lease(job)
+        return job
+
+    def write_lease(self, job: Job) -> None:
+        """(Re)write the lease record; the fresh mtime restarts the TTL."""
+        payload = {
+            "worker_id": self.identity.worker_id,
+            "claimed_at": time.time(),
+            "expires_at": time.time() + self.lease_ttl,
+            "lease_ttl": self.lease_ttl,
+            "job": job.to_dict(),
+        }
+        atomic_write_text(self.lease_path(job.job_id), json.dumps(payload, indent=2) + "\n")
+
+    def refresh_lease(self, job: Job) -> bool:
+        """Rewrite the lease only while this worker still owns it.
+
+        A refresh must never *recreate* a lease file that a reclaimer
+        renamed away — that would resurrect ownership this worker already
+        lost and let its eventual release clobber the reclaim's record.
+        Returns False when the lease is gone (the job is disowned).
+        """
+        if not self.lease_path(job.job_id).exists():
+            return False
+        self.write_lease(job)
+        return True
+
+    def release(self, job: Job) -> bool:
+        """Move the job's post-execution record back into the spool.
+
+        The record (terminal, or ``queued`` again for a retryable failure)
+        is first written *into the lease file* — which this worker owns —
+        and the lease is then renamed onto the spool path, so the release
+        itself is atomic: a reclaimer that stole the lease meanwhile makes
+        the rename fail (``ENOENT``) and the outcome is discarded.  A
+        crash between the write and the rename leaves the lease holding a
+        plain record, which :meth:`reclaim_expired` restores faithfully
+        (terminal records unchanged, others re-queued).
+
+        Ownership guard: a lease already gone (reclaimed while this worker
+        was stalled) refuses the release outright.  In the residual
+        microseconds-wide window where a reclaim lands between that check
+        and the write, the rename moves this worker's *finished* record
+        over the reclaim's requeue — the job ends terminal with a real
+        computed result instead of being pointlessly executed a third
+        time; content-addressed idempotent results make either order
+        safe.  Returns whether the record reached the spool.
+        """
+        lease = self.lease_path(job.job_id)
+        if not lease.exists():
+            return False  # reclaimed out from under us; the spool moved on
+        atomic_write_text(lease, json.dumps(job.to_dict(), indent=2) + "\n")
+        try:
+            os.rename(lease, self._job_path(job.job_id))
+        except OSError:
+            return False  # stolen between the write and the rename
+        return True
+
+    # -- reclaim --------------------------------------------------------------------
+
+    def reclaim_expired(self, max_scan: Optional[int] = None) -> int:
+        """Requeue expired leases of dead peers; returns how many.
+
+        A lease is reclaimed only when its mtime-based TTL has passed
+        *and* the owning worker's heartbeat is stale or stopped — a slow
+        worker with a fresh heartbeat keeps its leases however old they
+        are.  The reclaim itself is an atomic rename into this worker's
+        directory (suffix ``.reclaim``, invisible to lease scans), so
+        concurrent reclaimers of one lease cannot both requeue it.
+        """
+        now = time.time()
+        heartbeats = read_worker_heartbeats(self.root)
+        reclaimed = 0
+        scanned = 0
+        for lease_path, owner in self._foreign_leases():
+            if max_scan is not None and scanned >= max_scan:
+                break
+            scanned += 1
+            try:
+                mtime = lease_path.stat().st_mtime
+            except OSError:
+                continue  # released or reclaimed meanwhile
+            if now < mtime + self.lease_ttl:
+                # Cheap floor before any JSON parse: with this manager's
+                # own TTL as the bound, a freshly refreshed lease (the
+                # overwhelmingly common case on every poll cycle) costs one
+                # stat, never a read.  A peer with a *shorter* TTL is
+                # reclaimed a little later than its own bound — safe,
+                # merely conservative — and supervised fleets share one
+                # TTL, making the floor exact.
+                continue
+            ttl = self._lease_ttl_of(lease_path)
+            if now < mtime + ttl:
+                continue  # still within its TTL
+            owner_heartbeat = heartbeats.get(owner)
+            if owner_heartbeat is not None and worker_is_alive(owner_heartbeat):
+                continue  # owner is alive, merely slow; never steal
+            if self._reclaim_one(lease_path):
+                reclaimed += 1
+        return reclaimed
+
+    def _foreign_leases(self) -> List[Tuple[Path, str]]:
+        """(lease path, owner worker id) of every other worker's lease."""
+        leases = []
+        root = _leases_dir(self.root)
+        for worker_dir in sorted(root.iterdir()) if root.exists() else []:
+            if not worker_dir.is_dir() or worker_dir.name == self.identity.worker_id:
+                continue
+            for path in sorted(worker_dir.glob("*.json")):
+                leases.append((path, worker_dir.name))
+        return leases
+
+    def _lease_ttl_of(self, lease_path: Path) -> float:
+        """TTL recorded in the lease, falling back to this manager's own.
+
+        A lease caught in the claim window (renamed, not yet rewritten)
+        still holds the plain job record; its mtime is the rename-fresh
+        submit-time stamp only until the owner's first
+        :meth:`write_lease`, and the heartbeat condition protects it
+        meanwhile.
+        """
+        try:
+            payload = json.loads(lease_path.read_text(encoding="utf-8"))
+            return float(payload["lease_ttl"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return self.lease_ttl
+
+    def _reclaim_one(self, lease_path: Path) -> bool:
+        """Atomically steal one expired lease and resolve its job."""
+        # The `.reclaim` suffix keeps the stolen file out of `*.json` scans.
+        stolen = self.my_dir / f"{lease_path.stem}.{os.getpid()}.reclaim"
+        try:
+            os.rename(lease_path, stolen)
+        except OSError:
+            return False  # another reclaimer (or the owner's release) won
+        payload: object = None
+        try:
+            payload = json.loads(stolen.read_text(encoding="utf-8"))
+            record = payload.get("job", payload)  # wrapper, or claim-window raw record
+            job = Job.from_dict(record)
+        except (OSError, json.JSONDecodeError, KeyError, ValueError, AttributeError):
+            job = None
+        worker = payload.get("worker_id") if isinstance(payload, dict) else None
+        resolved = False
+        if job is not None and not self._job_path(job.job_id).exists():
+            # (A spool record already present means the owner's release
+            # raced the reclaim — or the id was purged and reused — and the
+            # spool is authoritative; the stale lease is simply dropped.)
+            if job.is_terminal:
+                # A claim() that renamed an already-terminal record and died
+                # before renaming it back: restore it untouched — terminal
+                # is terminal, the finished result must never be re-queued.
+                pass
+            elif job.cancel_requested:
+                job.status = "cancelled"
+            elif job.attempts >= job.max_attempts:
+                job.status = "failed"
+                job.error = job.error or (
+                    f"worker {worker or 'unknown'} died during attempt "
+                    f"{job.attempts}/{job.max_attempts}"
+                )
+            else:
+                job.status = "queued"  # attempts preserved: the budget binds
+            atomic_write_text(
+                self._job_path(job.job_id), json.dumps(job.to_dict(), indent=2) + "\n"
+            )
+            resolved = True
+        try:
+            stolen.unlink()
+        except OSError:
+            pass
+        return resolved
+
+
+def scan_spool_records(
+    jobs_dir: Path, terminal_memo: Dict[str, int]
+) -> Tuple[List[Dict[str, object]], int, int]:
+    """One memoized pass over ``jobs/*.json``; the cluster's spool scanner.
+
+    Returns ``(active_records, terminal_count, unreadable_count)`` where
+    ``active_records`` are the parsed non-terminal records.  Terminal
+    records are remembered in ``terminal_memo`` (job id → mtime_ns, pruned
+    of vanished ids, updated in place), so repeated scans — the worker's
+    claim loop and the supervisor's monitor tick share this helper — parse
+    only *new* work, never spool history; a purged-and-resubmitted id gets
+    a fresh mtime and is re-read.  Records whose filename and ``job_id``
+    disagree are foreign files and ignored.
+    """
+    active: List[Dict[str, object]] = []
+    terminal = 0
+    unreadable = 0
+    paths = sorted(jobs_dir.glob("*.json"))
+    stems = {path.stem for path in paths}
+    for vanished in set(terminal_memo) - stems:
+        del terminal_memo[vanished]
+    for path in paths:
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            continue  # claimed or purged mid-scan; a lease scan sees a claim
+        if terminal_memo.get(path.stem) == mtime:
+            terminal += 1
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            unreadable += 1  # half-written; the next scan sees it whole
+            continue
+        if not isinstance(record, dict) or record.get("job_id") != path.stem:
+            continue
+        if record.get("status") in TERMINAL_STATUSES:
+            terminal += 1
+            terminal_memo[path.stem] = mtime
+        else:
+            terminal_memo.pop(path.stem, None)  # active again (id reuse)
+            active.append(record)
+    return active, terminal, unreadable
+
+
+def active_leases(root: Union[str, Path]) -> List[Dict[str, object]]:
+    """Snapshot of every live lease (for ``status --cluster``); pure reads."""
+    now = time.time()
+    leases: List[Dict[str, object]] = []
+    leases_root = _leases_dir(Path(root))
+    for worker_dir in sorted(leases_root.iterdir()) if leases_root.exists() else []:
+        if not worker_dir.is_dir():
+            continue
+        for path in sorted(worker_dir.glob("*.json")):
+            try:
+                stat = path.stat()
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            record = payload.get("job", payload) if isinstance(payload, dict) else {}
+            ttl = payload.get("lease_ttl") if isinstance(payload, dict) else None
+            leases.append(
+                {
+                    "job_id": path.stem,
+                    "worker_id": worker_dir.name,
+                    "age_seconds": max(0.0, now - stat.st_mtime),
+                    "expires_in": (
+                        stat.st_mtime + float(ttl) - now if ttl is not None else None
+                    ),
+                    "attempts": record.get("attempts") if isinstance(record, dict) else None,
+                }
+            )
+    return leases
+
+
+@dataclass
+class WorkerConfig:
+    """Everything one cluster worker process needs.
+
+    ``backend`` / ``backend_workers`` configure the *engine* inside the
+    worker (how one job's panel batches are dispatched); cluster
+    parallelism comes from running several workers, each of which is
+    usually perfectly happy with the serial backend.
+    """
+
+    root: Union[str, Path]
+    label: str = "worker"
+    backend: str = "serial"
+    backend_workers: Optional[int] = None
+    poll_interval: float = 0.2
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    store_max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {self.poll_interval}")
+        if self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
+        self.root = Path(self.root)
+
+
+class ClusterWorker:
+    """One lease-claiming worker process over a shared spool.
+
+    Unlike the single-process daemon there is no in-memory queue to drain:
+    every cycle re-scans the spool for ``queued`` records (priority order,
+    deterministic ties) and races its peers for the first claimable one.
+    Execution reuses the scheduler's batch loop, with the between-batch
+    hook refreshing the lease and heartbeat and honouring cancel markers —
+    so a long job neither loses its lease nor goes deaf to ``repro
+    cancel``.
+    """
+
+    def __init__(self, config: WorkerConfig, identity: Optional[WorkerIdentity] = None) -> None:
+        self.config = config
+        root = Path(config.root)
+        _jobs_dir(root).mkdir(parents=True, exist_ok=True)
+        _workers_dir(root).mkdir(parents=True, exist_ok=True)
+        self.identity = identity or WorkerIdentity.create(config.label)
+        self.lease = LeaseManager(root, self.identity, lease_ttl=config.lease_ttl)
+        self.store = ResultStore(root / "store", max_bytes=config.store_max_bytes)
+        self.engine = Engine(
+            backend=create_backend(config.backend, config.backend_workers),
+            cache=SolutionCache(store=self.store),
+        )
+        self.scheduler = Scheduler(
+            queue=None,
+            engine=self.engine,
+            on_batch=self._on_batch,
+            worker_id=self.identity.worker_id,
+        )
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.jobs_reclaimed = 0
+        self._current: Optional[Job] = None
+        self._last_heartbeat = 0.0
+        self._stop_requested = False
+        # Serialises every lease write and the current-job handoff between
+        # the execution thread and the background pulse thread (two threads
+        # writing one lease would also collide on the pid-named temp file).
+        self._pulse_lock = threading.Lock()
+        self._pulse_stop = threading.Event()
+        self._pulse_thread: Optional[threading.Thread] = None
+        # Whether the last _run_claimed still owned its lease at release:
+        # a disowned outcome is discarded and must not consume --max-jobs.
+        self._last_owned = True
+        # Terminal spool records already seen, keyed by record mtime, so an
+        # idle worker's candidate scan never re-parses spool history (same
+        # scheme as the daemon's `_spool_done`); a rewritten file (id reuse
+        # after a purge) no longer matches its mtime and is re-read.
+        self._known_terminal: Dict[str, int] = {}
+
+    # -- spool scanning -------------------------------------------------------------
+
+    def _queued_candidates(self) -> List[str]:
+        """Claimable job ids, best first: priority desc, then submit order.
+
+        Every worker scans in the same deterministic order, so the fleet
+        converges on the same head-of-line job and the claim rename picks
+        the single winner; losers fall through to the next candidate.
+        The memoized scan never re-reads terminal history (see
+        :func:`scan_spool_records`).
+        """
+        records, _terminal, _unreadable = scan_spool_records(
+            _jobs_dir(Path(self.config.root)), self._known_terminal
+        )
+        candidates = sorted(
+            (
+                -int(record.get("priority", 0)),
+                float(record.get("created_at", 0.0)),
+                str(record["job_id"]),
+            )
+            for record in records
+            if record.get("status") == "queued"
+        )
+        return [job_id for _priority, _created, job_id in candidates]
+
+    def _claim_next(self) -> Optional[Job]:
+        for job_id in self._queued_candidates():
+            job = self.lease.claim(job_id)
+            if job is not None:
+                return job
+        return None
+
+    # -- execution ------------------------------------------------------------------
+
+    def _on_batch(self, job: Job) -> None:
+        """Between-batch pulse: keep the lease and heartbeat alive, see cancels."""
+        marker = _jobs_dir(Path(self.config.root)) / f"{job.job_id}.cancel"
+        if marker.exists():
+            # Raise the flag only; the marker itself is consumed by the
+            # ownership-gated sweep at the end of _run_claimed, so a worker
+            # that turns out to be disowned never eats a marker that
+            # targets the requeued job.
+            job.cancel_requested = True
+        with self._pulse_lock:
+            if not self.lease.refresh_lease(job):
+                # Disowned: a reclaimer decided this worker was dead while a
+                # batch ran long.  Stop burning work on a job a peer now
+                # owns; release() will refuse the spool write for the same
+                # reason, so the outcome is simply discarded.
+                job.cancel_requested = True
+        self._heartbeat()
+
+    def _pulse(self) -> None:
+        """Background refresher: lease + heartbeat stay fresh *within* a batch.
+
+        The between-batch hook alone would let a single batch longer than
+        the lease TTL (or the heartbeat staleness bound) get a perfectly
+        live worker's job reclaimed and double-executed; this thread closes
+        that window.  A worker that truly dies stops pulsing, which is
+        exactly the signal reclaim needs.
+        """
+        interval = max(0.05, min(1.0, self.config.lease_ttl / 3.0, self.config.poll_interval))
+        while not self._pulse_stop.wait(interval):
+            with self._pulse_lock:
+                if self._current is not None:
+                    # refresh, never recreate: a reclaimed lease stays lost.
+                    self.lease.refresh_lease(self._current)
+            self._heartbeat()
+
+    def _run_claimed(self, job: Job) -> Job:
+        """Execute one claimed job and write its outcome back to the spool."""
+        with self._pulse_lock:
+            self._current = job
+        marker = _jobs_dir(Path(self.config.root)) / f"{job.job_id}.cancel"
+        if marker.exists():
+            # Cancelled while queued; the claim just makes it terminal.
+            # (Flag only — the marker is consumed by the ownership-gated
+            # sweep below, never by a worker that lost its lease.)
+            job.cancel_requested = True
+        try:
+            if job.cancel_requested:
+                status = "cancelled"
+                result = None
+            else:
+                outcome = self.scheduler.execute_job(job)
+                status = "cancelled" if job.cancel_requested else "done"
+                result = outcome.to_dict()
+        except Exception as error:  # noqa: BLE001 — any job error means retry/fail
+            job.error = "".join(traceback.format_exception_only(type(error), error)).strip()
+            status = "failed" if job.attempts >= job.max_attempts else "queued"
+            result = None
+        # Terminal mutations and the pulse handoff happen under the lock,
+        # so the background refresher can never write a half-updated lease
+        # or resurrect a lease after release.
+        with self._pulse_lock:
+            job.status = status
+            if result is not None:
+                job.result = result
+            job.finish_execution()
+            self._current = None
+            owned = self.lease.release(job)
+        self._last_owned = owned
+        if owned:
+            if job.status == "done":
+                self.jobs_done += 1
+            elif job.status == "failed":
+                self.jobs_failed += 1
+            elif job.status == "cancelled":
+                self.jobs_cancelled += 1
+        if owned and job.is_terminal:
+            # A cancel that landed during the final batch arrived too late;
+            # its marker is dead and must not ambush a future reuse of the
+            # job id.  Gated on ownership: a disowned worker's job was
+            # requeued by a reclaim, and a marker present now targets that
+            # requeued job — pending, not stale, and not ours to consume.
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+        self._heartbeat(force=True)
+        return job
+
+    # -- heartbeat ------------------------------------------------------------------
+
+    def _heartbeat(self, stopped: bool = False, force: bool = False) -> None:
+        """Write the worker's liveness file (throttled, like the daemon's)."""
+        now = time.time()
+        if not force and now - self._last_heartbeat < min(1.0, self.config.poll_interval):
+            return
+        self._last_heartbeat = now
+        # Snapshot once: the pulse thread heartbeats concurrently with the
+        # execution thread's job handoff, and a double read of _current
+        # could see it become None between the check and the use.
+        current = self._current
+        stats = self.engine.cache_stats()
+        payload = {
+            "worker_id": self.identity.worker_id,
+            "pid": self.identity.pid,
+            "started_at": self.identity.started_at,
+            "updated_at": now,
+            "poll_interval": self.config.poll_interval,
+            "lease_ttl": self.config.lease_ttl,
+            "stopped": stopped,
+            "backend": self.engine.backend.name,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_reclaimed": self.jobs_reclaimed,
+            "lease": None if current is None else current.job_id,
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "store_hits": stats.store_hits,
+            },
+        }
+        atomic_write_text(
+            _workers_dir(Path(self.config.root)) / f"{self.identity.worker_id}.json",
+            json.dumps(payload, indent=2) + "\n",
+        )
+
+    # -- main loop ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the loop to exit at the next between-jobs boundary."""
+        self._stop_requested = True
+
+    def step(self) -> Optional[Job]:
+        """One reclaim-claim-execute cycle; returns the job run, if any."""
+        self.jobs_reclaimed += self.lease.reclaim_expired()
+        job = self._claim_next()
+        if job is None:
+            self._heartbeat()
+            return None
+        return self._run_claimed(job)
+
+    def _spool_has_queued_work(self) -> bool:
+        return bool(self._queued_candidates())
+
+    def run(self, max_jobs: Optional[int] = None, idle_exit: Optional[float] = None) -> int:
+        """Serve until ``max_jobs`` terminal outcomes or idle too long.
+
+        Same contract as the daemon's loop: retries released back to the
+        spool do not count as finished work; the idle deadline re-checks
+        the spool one final time before exiting, so a submission landing
+        during the last poll sleep is served, not stranded.
+        """
+        self._install_signal_handler()
+        self._heartbeat(force=True)
+        self._pulse_stop.clear()
+        self._pulse_thread = threading.Thread(
+            target=self._pulse, name=f"pulse-{self.identity.worker_id}", daemon=True
+        )
+        self._pulse_thread.start()
+        finished = 0
+        idle_since: Optional[float] = None
+        try:
+            while not self._stop_requested:
+                job = self.step()
+                if job is not None:
+                    if job.is_terminal and self._last_owned:
+                        finished += 1
+                        if max_jobs is not None and finished >= max_jobs:
+                            break
+                    idle_since = None
+                    continue
+                now = time.time()
+                if idle_since is None:
+                    idle_since = now
+                if idle_exit is not None and now - idle_since >= idle_exit:
+                    if self._spool_has_queued_work():
+                        idle_since = None  # a submission landed during the last sleep
+                        continue
+                    break
+                time.sleep(self.config.poll_interval)
+        finally:
+            self._pulse_stop.set()
+            self._pulse_thread.join(timeout=5.0)
+            self.engine.shutdown()
+            self._heartbeat(stopped=True, force=True)
+        return finished
+
+    def _install_signal_handler(self) -> None:
+        """Exit cleanly on SIGTERM (the supervisor's shutdown signal).
+
+        Only possible from the main thread of a worker process; in-process
+        workers driven from test threads simply skip it.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return
+        try:
+            signal.signal(signal.SIGTERM, lambda _signum, _frame: self.request_stop())
+        except (ValueError, OSError):  # pragma: no cover — exotic platforms
+            pass
+
+
+@dataclass
+class ClusterConfig:
+    """Everything ``repro serve --workers K`` needs to run a local fleet."""
+
+    root: Union[str, Path]
+    workers: int = 2
+    backend: str = "serial"
+    backend_workers: Optional[int] = None
+    poll_interval: float = 0.2
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    store_max_bytes: Optional[int] = None
+    #: Worker restarts the supervisor will perform before giving up on a
+    #: slot that keeps dying (per run, across all slots).
+    max_restarts: int = 10
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {self.poll_interval}")
+        self.root = Path(self.root)
+
+
+class ClusterSupervisor:
+    """Spawn, monitor and restart a local fleet of worker processes.
+
+    Workers are real OS processes (``repro serve --cluster-worker``), so a
+    fleet scales across cores and a crash takes down one worker, never the
+    cluster: the supervisor respawns dead workers (bounded by
+    ``max_restarts``) and surviving peers reclaim the dead worker's leases
+    meanwhile.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        Path(config.root).mkdir(parents=True, exist_ok=True)
+        self.restarts = 0
+        self._stopping = False
+        self._terminated = False
+        self._procs: Dict[int, subprocess.Popen] = {}
+        # Terminal records already counted, keyed by mtime (the workers'
+        # and daemon's scheme): the ~10 Hz monitor loop must not re-parse a
+        # reused root's entire history every tick.
+        self._terminal_seen: Dict[str, int] = {}
+
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run` loop to shut the fleet down and exit."""
+        self._terminated = True
+
+    def worker_command(self, slot: int) -> List[str]:
+        """The command line of worker ``slot`` (one source of truth)."""
+        config = self.config
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--root",
+            str(config.root),
+            "--cluster-worker",
+            "--worker-label",
+            f"w{slot}",
+            "--poll",
+            str(config.poll_interval),
+            "--lease-ttl",
+            str(config.lease_ttl),
+            "--backend",
+            config.backend,
+        ]
+        if config.backend_workers is not None:
+            command += ["--backend-workers", str(config.backend_workers)]
+        if config.store_max_bytes is not None:
+            command += ["--store-max-mb", str(config.store_max_bytes / (1024 * 1024))]
+        return command
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the fleet (idempotent: only empty slots are filled)."""
+        self._stopping = False
+        for slot in range(self.config.workers):
+            if slot not in self._procs or self._procs[slot].poll() is not None:
+                self._procs[slot] = subprocess.Popen(self.worker_command(slot))
+
+    def poll(self) -> int:
+        """Restart dead workers; returns the number currently alive."""
+        alive = 0
+        for slot, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                alive += 1
+                continue
+            if self._stopping or self.restarts >= self.config.max_restarts:
+                continue
+            self.restarts += 1
+            self._procs[slot] = subprocess.Popen(self.worker_command(slot))
+            alive += 1
+        return alive
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the currently-running worker processes."""
+        return [proc.pid for proc in self._procs.values() if proc.poll() is None]
+
+    def wait_alive(self, timeout: float = 30.0) -> bool:
+        """Block until every worker slot has a fresh heartbeat on disk."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            heartbeats = read_worker_heartbeats(self.config.root)
+            fresh = sum(1 for heartbeat in heartbeats.values() if worker_is_alive(heartbeat))
+            if fresh >= self.config.workers:
+                return True
+            time.sleep(0.05)
+        return False
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate the fleet: SIGTERM, bounded wait, SIGKILL stragglers."""
+        self._stopping = True
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + timeout
+        for proc in self._procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    # -- spool accounting -----------------------------------------------------------
+
+    def _spool_counts(self) -> Tuple[int, int]:
+        """(terminal records, active records) — active = queued + leased.
+
+        The spool is scanned *before* the leases, matching the claim
+        rename's direction (``jobs/`` → ``leases/``): a record renamed
+        mid-scan leaves the source after we read it, or reaches the
+        destination before we read that — either way at least one scan
+        sees it, so a just-claimed job can never look like an idle spool.
+        Terminal records are remembered by mtime and never re-parsed, so
+        the monitor tick stays proportional to new work, not history.
+        """
+        records, terminal, unreadable = scan_spool_records(
+            _jobs_dir(Path(self.config.root)), self._terminal_seen
+        )
+        # Unreadable records are mid-write: assume active until readable.
+        active = len(records) + unreadable + len(active_leases(self.config.root))
+        return terminal, active
+
+    def run(self, max_jobs: Optional[int] = None, idle_exit: Optional[float] = None) -> int:
+        """Serve until ``max_jobs`` jobs *newly* reach terminal, or idle too long.
+
+        Terminal records already in the spool when the run starts (a reused
+        root's history) are excluded from both the ``max_jobs`` budget and
+        the returned count, matching the single daemon's finished-this-run
+        semantics.  ``idle_exit=None`` with ``max_jobs=None`` supervises
+        forever (until SIGINT/SIGTERM reaches the supervisor process).
+        """
+        baseline = self._spool_counts()[0]
+        # SIGTERM must unwind through the finally so stop() reaps the
+        # fleet — the default disposition would kill this process and
+        # orphan every worker.  (Main-thread only, like the worker's.)
+        if threading.current_thread() is threading.main_thread():
+            try:
+                signal.signal(signal.SIGTERM, lambda _signum, _frame: self.request_stop())
+            except (ValueError, OSError):  # pragma: no cover — exotic platforms
+                pass
+        self.start()
+        idle_since: Optional[float] = None
+        try:
+            while not self._terminated:
+                alive = self.poll()
+                if alive == 0 and self.restarts >= self.config.max_restarts:
+                    # Every worker is dead and the restart budget is spent
+                    # (a crash-looping fleet, e.g. a broken backend).
+                    # Hanging here would serve nobody; exit and let the
+                    # operator read the workers' exit output.
+                    break
+                terminal, active = self._spool_counts()
+                if max_jobs is not None and terminal - baseline >= max_jobs:
+                    break
+                if active:
+                    idle_since = None
+                else:
+                    now = time.time()
+                    if idle_since is None:
+                        idle_since = now
+                    if idle_exit is not None and now - idle_since >= idle_exit:
+                        # Same final re-check as the workers' own loop: a
+                        # burst landing during the last sleep keeps us up.
+                        if self._spool_counts()[1]:
+                            idle_since = None
+                            continue
+                        break
+                time.sleep(self.config.poll_interval)
+        finally:
+            self.stop()
+        return max(0, self._spool_counts()[0] - baseline)
+
+
+# -- load generation -------------------------------------------------------------------
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregate outcome of one submitted burst (JSON-safe via ``to_dict``)."""
+
+    scenario: str
+    submitted: int
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    timed_out: int = 0
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Terminal jobs per wall-clock second."""
+        finished = self.done + self.failed + self.cancelled
+        return finished / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank latency percentile over the finished jobs."""
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "submitted": self.submitted,
+            "done": self.done,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "throughput_jobs_per_s": round(self.throughput, 3),
+            "latency_p50": self.latency_percentile(0.50),
+            "latency_p90": self.latency_percentile(0.90),
+            "latency_max": max(self.latencies) if self.latencies else None,
+        }
+
+
+def run_loadgen(
+    root: Union[str, Path],
+    scenario: str = "smoke",
+    jobs: int = 12,
+    params: Optional[Dict[str, object]] = None,
+    priority: int = 0,
+    max_attempts: int = 2,
+    timeout: float = 300.0,
+    poll: float = 0.1,
+    wait: bool = True,
+) -> LoadgenReport:
+    """Submit a burst of scenario jobs and (optionally) wait them out.
+
+    Each job gets a distinct derived seed (``base + i``) when the scenario
+    has a ``seed`` parameter, so the burst is cache-cold by construction —
+    the workload the throughput benchmark needs.  Latency is measured per
+    job from submission to its final execution's ``finished_at`` stamp.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    params = dict(params or {})
+    spec = scenario_spec(scenario)
+    stride_seeds = hasattr(spec, "seed")
+    base_seed = params.get("seed", getattr(spec, "seed", 0))
+    burst = uuid.uuid4().hex[:6]
+    report = LoadgenReport(scenario=scenario, submitted=jobs)
+    submitted: List[Job] = []
+    start = time.perf_counter()
+    for index in range(jobs):
+        job_params = dict(params)
+        if stride_seeds:
+            job_params["seed"] = int(base_seed) + index
+        submitted.append(
+            submit_job(
+                root,
+                scenario,
+                params=job_params,
+                priority=priority,
+                max_attempts=max_attempts,
+                job_id=f"load-{burst}-{index:03d}",
+            )
+        )
+    if not wait:
+        report.wall_seconds = time.perf_counter() - start
+        return report
+    pending = {job.job_id: job for job in submitted}
+    deadline = time.monotonic() + timeout
+    root = Path(root)
+    while pending and time.monotonic() < deadline:
+        for job_id in list(pending):
+            try:
+                record = json.loads(
+                    (_jobs_dir(root) / f"{job_id}.json").read_text(encoding="utf-8")
+                )
+                job = Job.from_dict(record)
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                continue  # leased (file moved) or mid-rewrite; poll again
+            if not job.is_terminal:
+                continue
+            del pending[job_id]
+            if job.status == "done":
+                report.done += 1
+            elif job.status == "failed":
+                report.failed += 1
+            else:
+                report.cancelled += 1
+            latency = job.latency_seconds()
+            if latency is not None:
+                report.latencies.append(latency)
+        if pending:
+            time.sleep(poll)
+    report.timed_out = len(pending)
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def format_loadgen_report(report: LoadgenReport) -> List[str]:
+    """The ``repro loadgen`` output lines (greppable by the CI smoke jobs)."""
+    lines = [f"loadgen: {report.submitted} job(s) submitted (scenario={report.scenario})"]
+    lines.append(
+        f"loadgen: {report.done} done, {report.failed} failed, "
+        f"{report.cancelled} cancelled"
+        + (f", {report.timed_out} timed out" if report.timed_out else "")
+        + f" in {report.wall_seconds:.2f}s"
+    )
+    if report.latencies:
+        p50 = report.latency_percentile(0.50)
+        p90 = report.latency_percentile(0.90)
+        lines.append(
+            f"loadgen: throughput {report.throughput:.2f} jobs/s; "
+            f"latency p50={p50:.2f}s p90={p90:.2f}s max={max(report.latencies):.2f}s"
+        )
+    return lines
+
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "STALE_HEARTBEAT_SECONDS",
+    "WORKER_STALE_SECONDS",
+    "WorkerIdentity",
+    "LeaseManager",
+    "WorkerConfig",
+    "ClusterWorker",
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "LoadgenReport",
+    "run_loadgen",
+    "format_loadgen_report",
+    "active_leases",
+    "read_worker_heartbeats",
+    "worker_is_alive",
+    "heartbeat_is_fresh",
+]

@@ -397,6 +397,13 @@ class ServiceDaemon:
             if idle_since is None:
                 idle_since = now
             if idle_exit is not None and now - idle_since >= idle_exit:
+                # A submission can land between step()'s spool scan and this
+                # deadline check (classically: during the final poll sleep).
+                # One last scan closes the race — if anything new arrived,
+                # the daemon serves it instead of exiting under it.
+                if self.poll_spool() or self._finished_outside:
+                    idle_since = None
+                    continue
                 break
             time.sleep(self.config.poll_interval)
         self.engine.shutdown()
@@ -440,14 +447,20 @@ def request_cancel(root: Union[str, Path], job_id: str) -> bool:
     Missing and already-finished jobs return False without writing a marker
     — reporting success for a job nothing can cancel would mislead the
     operator and leave a stray marker in the spool.  A record that cannot
-    be parsed (caught mid-rewrite) is assumed active.
+    be parsed (caught mid-rewrite) is assumed active.  A job absent from
+    ``jobs/`` but held under a cluster worker's lease is running — the
+    marker is written and the leaseholder honours it at its next batch
+    boundary.
     """
     root = Path(root)
     path = _job_path(root, job_id)
     try:
         job = Job.from_dict(json.loads(path.read_text(encoding="utf-8")))
     except FileNotFoundError:
-        return False
+        # Claimed by a cluster worker?  The record then lives in a lease.
+        if not any((root / "leases").glob(f"*/{job_id}.json")):
+            return False
+        job = None
     except (OSError, json.JSONDecodeError, KeyError, ValueError):
         job = None
     if job is not None and job.is_terminal:
@@ -485,12 +498,50 @@ def wait_for_job(
     raise TimeoutError(f"job {job_id!r} still {state} after {timeout:.1f}s")
 
 
+def _load_leased_jobs(root: Path) -> List[Job]:
+    """Jobs currently held under cluster worker leases (all ``running``)."""
+    jobs: List[Job] = []
+    leases = root / "leases"
+    for path in sorted(leases.glob("*/*.json")) if leases.exists() else []:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            record = payload.get("job", payload) if isinstance(payload, dict) else None
+            jobs.append(Job.from_dict(record))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError):
+            continue  # mid-claim or mid-rewrite; the next status call sees it
+    return jobs
+
+
+def _cluster_report(root: Path) -> Optional[Dict[str, object]]:
+    """Per-worker liveness + active leases, or ``None`` off-cluster roots."""
+    if not (root / "workers").exists() and not (root / "leases").exists():
+        return None
+    # Imported lazily: the cluster module builds on this one.
+    from repro.service.cluster import active_leases, read_worker_heartbeats, worker_is_alive
+
+    workers: Dict[str, Dict[str, object]] = {}
+    now = time.time()
+    for worker_id, heartbeat in read_worker_heartbeats(root).items():
+        updated = float(heartbeat.get("updated_at", now))
+        started = float(heartbeat.get("started_at", now))
+        uptime = max(1e-9, updated - started)
+        workers[worker_id] = {
+            "alive": worker_is_alive(heartbeat),
+            "heartbeat_age": max(0.0, now - float(heartbeat.get("updated_at", 0.0))),
+            "throughput_jobs_per_s": round(int(heartbeat.get("jobs_done", 0)) / uptime, 4),
+            "heartbeat": heartbeat,
+        }
+    return {"workers": workers, "leases": active_leases(root)}
+
+
 def service_status(root: Union[str, Path]) -> Dict[str, object]:
     """Snapshot of the whole service directory (daemon, jobs, store, cache).
 
     Pure reads — safe to call while a daemon is serving, and meaningful when
     none is (``daemon.alive`` is False and job records speak for
-    themselves).
+    themselves).  On a cluster root, jobs claimed under leases are reported
+    as ``running`` and a ``cluster`` section carries per-worker liveness,
+    throughput and the active leases.
     """
     root = Path(root)
     heartbeat: Optional[Dict[str, object]] = None
@@ -504,6 +555,11 @@ def service_status(root: Union[str, Path]) -> Dict[str, object]:
         heartbeat_age = max(0.0, time.time() - float(heartbeat.get("updated_at", 0.0)))
         alive = heartbeat_is_fresh(heartbeat)
     jobs = _load_jobs(root) if _jobs_dir(root).exists() else []
+    # A job caught in the release-crash window exists both as a terminal
+    # spool record and a stale lease; the spool record is authoritative, so
+    # leased records never shadow (or double-count) a spool id.
+    known = {job.job_id for job in jobs}
+    jobs += [job for job in _load_leased_jobs(root) if job.job_id not in known]
     counts: Dict[str, int] = {}
     cache_totals = {"hits": 0, "misses": 0, "store_hits": 0}
     for job in jobs:
@@ -525,7 +581,44 @@ def service_status(root: Union[str, Path]) -> Dict[str, object]:
         "jobs": {"counts": counts, "records": [job.to_dict() for job in jobs]},
         "cache_totals": cache_totals,
         "store": store_info,
+        "cluster": _cluster_report(root),
     }
+
+
+def _sweep_dead_workers(root: Path) -> int:
+    """Remove heartbeats + empty lease dirs of workers that are gone.
+
+    Every worker process leaves a uuid-suffixed heartbeat and lease
+    directory behind; on a long-lived root these grow with restart churn,
+    and the reclaim scan and ``status --cluster`` pay for all of them
+    forever.  Only workers that are *not* alive are swept, and only once
+    their lease directory is empty — pending leases keep both so reclaim
+    still sees the owner's staleness.  Returns heartbeats removed.
+    """
+    # Imported lazily: the cluster module builds on this one.
+    from repro.service.cluster import worker_is_alive
+
+    removed = 0
+    workers_dir = root / "workers"
+    for heartbeat_path in sorted(workers_dir.glob("*.json")) if workers_dir.exists() else []:
+        try:
+            heartbeat = json.loads(heartbeat_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(heartbeat, dict) or worker_is_alive(heartbeat):
+            continue
+        lease_dir = root / "leases" / heartbeat_path.stem
+        if lease_dir.exists():
+            try:
+                lease_dir.rmdir()  # only ever removes an *empty* directory
+            except OSError:
+                continue  # stale leases pending reclaim; keep the heartbeat
+        try:
+            heartbeat_path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 def gc_service(
@@ -537,7 +630,10 @@ def gc_service(
 
     ``purge_jobs`` removes the records of terminal jobs (their results are
     gone from ``repro status`` afterwards — the solved layouts themselves
-    stay in the store).  Returns ``{"evicted_blobs", "purged_jobs"}``.
+    stay in the store).  Dead cluster workers' heartbeats and empty lease
+    directories are always swept (live workers and pending leases are
+    untouchable).  Returns ``{"evicted_blobs", "purged_jobs",
+    "purged_workers"}``.
 
     Eviction works on the blob files directly (:func:`evict_lru_blobs`)
     rather than opening a :class:`ResultStore` — opening rewrites metadata
@@ -558,4 +654,20 @@ def gc_service(
                     purged += 1
                 except OSError:
                     pass
-    return {"evicted_blobs": evicted, "purged_jobs": purged}
+        # Orphaned cancel markers (their job finished before the cancel was
+        # seen, or was purged above) would instantly cancel a future
+        # resubmission reusing the id; sweep them with the records.  A
+        # marker whose job is claimed under a cluster lease is *pending*,
+        # not orphaned — the leaseholder honours it at its next batch
+        # boundary, so it must survive the sweep.
+        for marker in _jobs_dir(root).glob("*.cancel"):
+            if _job_path(root, marker.stem).exists():
+                continue
+            if any((root / "leases").glob(f"*/{marker.stem}.json")):
+                continue
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+    purged_workers = _sweep_dead_workers(root)
+    return {"evicted_blobs": evicted, "purged_jobs": purged, "purged_workers": purged_workers}

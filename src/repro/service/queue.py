@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -56,6 +57,14 @@ class Job:
         traffic); populated by the scheduler.
     cancel_requested:
         Cooperative-cancellation flag the scheduler checks between batches.
+    created_at:
+        Submission timestamp; end-to-end latency is measured from it.
+    executions:
+        Audit trail of claims: one ``{"worker", "attempt", "claimed_at"[,
+        "finished_at"]}`` entry per execution start.  A cleanly-served job
+        has exactly one entry — the exactly-once evidence the cluster CI
+        job checks — while a job reclaimed from a dead worker shows the
+        lost attempt as an entry with no ``finished_at``.
     """
 
     job_id: str
@@ -68,6 +77,8 @@ class Job:
     error: Optional[str] = None
     result: Optional[Dict[str, object]] = None
     cancel_requested: bool = False
+    created_at: float = field(default_factory=time.time)
+    executions: List[Dict[str, object]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.status not in JOB_STATUSES:
@@ -79,6 +90,27 @@ class Job:
     def is_terminal(self) -> bool:
         """True once the job can no longer change status."""
         return self.status in TERMINAL_STATUSES
+
+    def record_claim(self, worker_id: str) -> None:
+        """Append one execution entry (call right after ``attempts`` bumps)."""
+        self.executions.append(
+            {"worker": worker_id, "attempt": self.attempts, "claimed_at": round(time.time(), 6)}
+        )
+
+    def finish_execution(self) -> None:
+        """Stamp the end of the latest execution, however it ended."""
+        if self.executions and "finished_at" not in self.executions[-1]:
+            self.executions[-1]["finished_at"] = round(time.time(), 6)
+
+    def latency_seconds(self) -> Optional[float]:
+        """Submit-to-finish latency, once the final execution is stamped."""
+        if not self.is_terminal:
+            return None
+        for entry in reversed(self.executions):
+            finished = entry.get("finished_at")
+            if isinstance(finished, (int, float)):
+                return max(0.0, float(finished) - self.created_at)
+        return None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable record (the disk-spool format)."""
@@ -96,6 +128,8 @@ class Job:
             # crash: the restarted daemon re-queues the job and the first
             # batch boundary honours the restored flag.
             "cancel_requested": self.cancel_requested,
+            "created_at": self.created_at,
+            "executions": [dict(entry) for entry in self.executions],
         }
 
     @classmethod
@@ -112,6 +146,8 @@ class Job:
             error=record.get("error"),  # type: ignore[arg-type]
             result=record.get("result"),  # type: ignore[arg-type]
             cancel_requested=bool(record.get("cancel_requested", False)),
+            created_at=float(record.get("created_at", 0.0)),
+            executions=[dict(entry) for entry in record.get("executions") or []],
         )
 
 

@@ -122,43 +122,66 @@ class Scheduler:
         common case) multiple batch boundaries, so cancellation lands
         within ``batch_size`` panels rather than after the whole job.
         ``None`` dispatches each compatible group whole.
+    worker_id:
+        Name recorded in each job's execution audit trail.  The daemon uses
+        the default; cluster workers pass their worker id so the per-job
+        ``executions`` entries say who ran what.
     """
 
     def __init__(
         self,
-        queue: JobQueue,
+        queue: Optional[JobQueue] = None,
         engine: Optional[Engine] = None,
         on_claim: Optional[Callable[[Job], None]] = None,
         on_batch: Optional[Callable[[Job], None]] = None,
         batch_size: Optional[int] = 8,
+        worker_id: str = "local",
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        self.queue = queue
+        self.queue = queue if queue is not None else JobQueue()
         self.engine = engine or Engine()
         self.on_claim = on_claim
         self.on_batch = on_batch
         self.batch_size = batch_size
+        self.worker_id = worker_id
 
     def run_once(self) -> Optional[Job]:
         """Claim and execute one job; returns it, or ``None`` when idle."""
         job = self.queue.pop()
         if job is None:
             return None
+        job.record_claim(self.worker_id)
         if self.on_claim is not None:
             self.on_claim(job)
-        start = time.perf_counter()
-        stats_before = self.engine.cache_stats()
         try:
-            outcome = self._execute(job)
+            outcome = self.execute_job(job)
         except Exception as error:  # noqa: BLE001 — any job error means retry/fail
             detail = "".join(traceback.format_exception_only(type(error), error)).strip()
             self.queue.fail(job, detail)
+            job.finish_execution()
             return job
+        self.queue.finish(job, result=outcome.to_dict())
+        job.finish_execution()
+        return job
+
+    def execute_job(self, job: Job) -> JobOutcome:
+        """Execute one already-claimed (``running``) job; raises on failure.
+
+        The claim itself — popping the queue, or winning a cluster lease
+        rename — happened before this call; here the job's scenario is
+        regenerated and dispatched batch by batch, with ``on_batch`` firing
+        between batches.  Timing and the job's share of cache traffic are
+        recorded on the returned outcome.  Callers own the status
+        transition (finish / fail / requeue) since it differs between the
+        in-memory queue and the cluster spool.
+        """
+        start = time.perf_counter()
+        stats_before = self.engine.cache_stats()
+        outcome = self._execute(job)
         outcome.runtime_seconds = time.perf_counter() - start
         outcome.cache = self.engine.cache_stats() - stats_before
-        self.queue.finish(job, result=outcome.to_dict())
-        return job
+        return outcome
 
     def _execute(self, job: Job) -> JobOutcome:
         spec = scenario_spec(job.scenario)

@@ -31,12 +31,16 @@ with the signature scheme version it was hashed under.  Durability rules:
   exceeds ``max_bytes`` the oldest blobs are evicted until it fits.
 
 Multiple processes may share one store: writes are atomic renames, reads
-tolerate concurrent eviction, and content-addressing makes double-writes of
-the same signature idempotent.
+tolerate concurrent eviction, content-addressing makes double-writes of the
+same signature idempotent, and eviction re-checks each blob's mtime right
+before the unlink so a blob a concurrent writer just (re)wrote or served a
+hit from is never the one evicted (the cluster's N workers all write and
+gc one store).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -81,9 +85,19 @@ class StoreStats:
         return parts
 
 
+_TMP_COUNTER = itertools.count()
+
+
 def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory temp file + rename."""
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    The temp name embeds the pid *and* a process-wide counter, so
+    concurrent writers of one path — other processes, or two threads of
+    this one (a worker's execution and pulse threads both refresh its
+    heartbeat; thread backends can double-fill one cache blob) — never
+    collide on the temp file either.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
     tmp.write_text(text, encoding="utf-8")
     os.replace(tmp, path)
 
@@ -106,29 +120,48 @@ def blob_disk_usage(blobs_dir: Path) -> Tuple[int, int]:
     return entries, total
 
 
-def evict_lru_blobs(blobs_dir: Path, max_bytes: int) -> Tuple[int, int]:
-    """Delete oldest-mtime blobs under ``blobs_dir`` until it fits ``max_bytes``.
+def scan_blobs(blobs_dir: Path) -> Tuple[List[Tuple[int, Path, int]], int]:
+    """Snapshot ``(mtime_ns, path, size)`` of every blob plus the byte total.
 
-    Pure file-level maintenance — no store metadata is read or written, so
-    callers (``repro gc``) can shrink a store owned by *any* format or
-    signature version without risking the version-mismatch clearing that
-    opening a :class:`ResultStore` performs.  Returns ``(evicted, total)``:
-    blobs removed and the remaining byte total.
+    The mtime is captured at scan time so :func:`evict_scanned_blobs` can
+    detect blobs touched by a concurrent process after the scan.
     """
-    entries = []
+    entries: List[Tuple[int, Path, int]] = []
     total = 0
     for path in sorted(blobs_dir.glob("*/*.json")) if blobs_dir.exists() else []:
         try:
             stat = path.stat()
         except OSError:
             continue
-        entries.append((stat.st_mtime, path, stat.st_size))
+        entries.append((stat.st_mtime_ns, path, stat.st_size))
         total += stat.st_size
-    entries.sort(key=lambda entry: (entry[0], entry[1].name))
+    return entries, total
+
+
+def evict_scanned_blobs(
+    entries: List[Tuple[int, Path, int]], total: int, max_bytes: int
+) -> Tuple[int, int]:
+    """Evict oldest-first from a :func:`scan_blobs` snapshot until it fits.
+
+    **Multi-writer guard**: each candidate is re-stat'ed immediately before
+    its unlink, and skipped when its mtime no longer matches the snapshot —
+    a concurrent process served a hit from it (LRU refresh) or rewrote it
+    since the scan, so it is recently used and must survive.  A blob that
+    vanished meanwhile (a concurrent gc evicted it) just has its size
+    discounted.  Returns ``(evicted, remaining_total)``.
+    """
+    entries = sorted(entries, key=lambda entry: (entry[0], entry[1].name))
     evicted = 0
-    for _mtime, path, size in entries:
+    for mtime_ns, path, size in entries:
         if total <= max_bytes:
             break
+        try:
+            stat = path.stat()
+        except OSError:
+            total -= size  # already gone: it no longer occupies the store
+            continue
+        if stat.st_mtime_ns != mtime_ns:
+            continue  # touched since the scan by a concurrent writer/reader
         try:
             path.unlink()
         except OSError:
@@ -136,6 +169,21 @@ def evict_lru_blobs(blobs_dir: Path, max_bytes: int) -> Tuple[int, int]:
         total -= size
         evicted += 1
     return evicted, total
+
+
+def evict_lru_blobs(blobs_dir: Path, max_bytes: int) -> Tuple[int, int]:
+    """Delete oldest-mtime blobs under ``blobs_dir`` until it fits ``max_bytes``.
+
+    Pure file-level maintenance — no store metadata is read or written, so
+    callers (``repro gc``) can shrink a store owned by *any* format or
+    signature version without risking the version-mismatch clearing that
+    opening a :class:`ResultStore` performs.  Safe against concurrent
+    writers and other gc passes (see :func:`evict_scanned_blobs`).
+    Returns ``(evicted, total)``: blobs removed and the remaining byte
+    total.
+    """
+    entries, total = scan_blobs(blobs_dir)
+    return evict_scanned_blobs(entries, total, max_bytes)
 
 
 class ResultStore:

@@ -79,6 +79,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
 
+    def test_cluster_verbs_parse(self, tmp_path):
+        root = str(tmp_path / "svc")
+        args = build_parser().parse_args(
+            ["serve", "--root", root, "--workers", "3", "--lease-ttl", "5"]
+        )
+        assert args.workers == 3 and args.lease_ttl == pytest.approx(5.0)
+        assert args.cluster_worker is False and args.backend_workers is None
+        args = build_parser().parse_args(["status", "--root", root, "--cluster"])
+        assert args.cluster is True
+        args = build_parser().parse_args(
+            ["loadgen", "--root", root, "--scenario", "dense-bus", "--jobs", "6",
+             "--param", "panels=2", "--timeout", "30"]
+        )
+        assert args.jobs == 6 and args.param == ["panels=2"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--root", root, "--jobs", "0"])
+
+    def test_serve_workers_is_cluster_size_not_backend_pool(self, tmp_path):
+        """On serve, --workers never requires a parallel backend; the engine
+        pool flag is --backend-workers and does."""
+        from repro.cli import main
+
+        root = str(tmp_path / "svc")
+        with pytest.raises(SystemExit):
+            main(["serve", "--root", root, "--backend-workers", "2"])  # serial backend
+        # A serial-backend cluster of 1 is valid and runs to idle exit.
+        assert main(["serve", "--root", root, "--workers", "1", "--poll", "0.05",
+                     "--idle-exit", "0.2"]) == 0
+
 
 class TestCommands:
     def test_compare_command_runs(self, capsys):
@@ -228,3 +257,47 @@ class TestServiceCommands:
         assert main(["cancel", "--root", root, job_id]) == 0
         assert "cancellation requested" in capsys.readouterr().out
         assert main(["cancel", "--root", root, "nope"]) == 1
+
+    def test_loadgen_and_cluster_status_loop(self, tmp_path, capsys):
+        """loadgen drains through a cluster worker; status --cluster reports it."""
+        import threading
+
+        from repro.service import ClusterWorker, WorkerConfig
+
+        root = tmp_path / "svc"
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        thread = threading.Thread(target=worker.run, kwargs={"idle_exit": 0.5})
+        thread.start()
+        try:
+            exit_code = main(
+                ["loadgen", "--root", str(root), "--scenario", "smoke",
+                 "--jobs", "3", "--timeout", "30"]
+            )
+        finally:
+            thread.join()
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "3 job(s) submitted" in output
+        assert "3 done, 0 failed, 0 cancelled" in output
+        assert "throughput" in output and "p50=" in output
+        assert main(["status", "--root", str(root), "--cluster"]) == 0
+        status = capsys.readouterr().out
+        assert "cluster: 1 workers" in status
+        assert "done=3" in status and "reclaimed=0" in status
+        assert main(["status", "--root", str(root), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cluster"]["workers"][worker.identity.worker_id]["alive"] is False
+
+    def test_loadgen_rejects_unknown_scenario(self, tmp_path):
+        with pytest.raises(SystemExit, match="loadgen rejected"):
+            main(["loadgen", "--root", str(tmp_path / "svc"), "--scenario", "nope"])
+
+    def test_loadgen_no_wait_submits_and_returns(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main(
+            ["loadgen", "--root", str(root), "--scenario", "smoke",
+             "--jobs", "2", "--no-wait"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "2 job(s) submitted" in output
+        assert len(list((root / "jobs").glob("*.json"))) == 2

@@ -1,9 +1,12 @@
-"""Tests for the repro.service layer (store, queue, scheduler, daemon).
+"""Tests for the repro.service layer (store, queue, scheduler, daemon, cluster).
 
-The warm-start tests at the bottom enforce the subsystem's headline
-guarantee: a second run over the same workload with the persistent store
-enabled performs *zero* redundant panel solves — in-process with a fresh
-cache, across daemon restarts, and across real CLI processes.
+The warm-start tests enforce the subsystem's headline guarantee: a second
+run over the same workload with the persistent store enabled performs
+*zero* redundant panel solves — in-process with a fresh cache, across
+daemon restarts, and across real CLI processes.  The cluster tests at the
+bottom enforce the multi-worker guarantees: exactly-one claim winner under
+contention, lease-expiry reclaim from dead workers only, and supervisor
+restart of crashed fleet members.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import json
 import os
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -38,7 +42,21 @@ from repro.service import (
     submit_job,
     wait_for_job,
 )
-from repro.service.store import FORMAT_VERSION
+from repro.service import (
+    ClusterConfig,
+    ClusterSupervisor,
+    ClusterWorker,
+    LeaseManager,
+    WorkerConfig,
+    WorkerIdentity,
+    run_loadgen,
+)
+from repro.service.cluster import (
+    active_leases,
+    read_worker_heartbeats,
+    worker_is_alive,
+)
+from repro.service.store import FORMAT_VERSION, evict_scanned_blobs, scan_blobs
 
 
 def _smoke_tasks():
@@ -804,3 +822,835 @@ class TestWarmStart:
 
         with pytest.raises(ValueError, match="store_path requires use_cache"):
             ExperimentConfig(use_cache=False, store_path=tmp_path / "store")
+
+
+# -- cluster: leases, heartbeats, reclaim --------------------------------------------
+
+
+def _worker_heartbeat_path(root: Path, worker_id: str) -> Path:
+    return root / "workers" / f"{worker_id}.json"
+
+
+def _write_stale_heartbeat(root: Path, worker_id: str, age: float = 3600.0) -> None:
+    (root / "workers").mkdir(parents=True, exist_ok=True)
+    _worker_heartbeat_path(root, worker_id).write_text(
+        json.dumps(
+            {
+                "worker_id": worker_id,
+                "pid": 999999,
+                "updated_at": time.time() - age,
+                "poll_interval": 0.1,
+                "stopped": False,
+            }
+        )
+    )
+
+
+def _manager(root: Path, label: str, ttl: float = 5.0) -> LeaseManager:
+    return LeaseManager(root, WorkerIdentity.create(label), lease_ttl=ttl)
+
+
+class TestLeaseManager:
+    def test_two_threads_claim_exactly_one_wins(self, tmp_path):
+        """The rename is the tie-break: of N racing claimers, one wins."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        managers = [_manager(root, f"t{i}") for i in range(4)]
+        barrier = threading.Barrier(len(managers))
+        wins: list = []
+
+        def racer(manager):
+            barrier.wait()
+            claimed = manager.claim(job.job_id)
+            if claimed is not None:
+                wins.append((manager.identity.worker_id, claimed))
+
+        threads = [threading.Thread(target=racer, args=(m,)) for m in managers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1
+        winner_id, claimed = wins[0]
+        assert claimed.status == "running" and claimed.attempts == 1
+        assert claimed.executions[0]["worker"] == winner_id
+        # The record moved: gone from the spool, present as the winner's lease.
+        assert not (root / "jobs" / f"{job.job_id}.json").exists()
+        lease = json.loads(
+            (root / "leases" / winner_id / f"{job.job_id}.json").read_text()
+        )
+        assert lease["worker_id"] == winner_id
+        assert lease["job"]["status"] == "running"
+
+    def test_release_writes_terminal_record_and_drops_lease(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        manager = _manager(root, "a")
+        claimed = manager.claim(job.job_id)
+        claimed.status = "done"
+        manager.release(claimed)
+        assert not manager.lease_path(job.job_id).exists()
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "done" and record["attempts"] == 1
+
+    def test_lease_expiry_reclaim_requeues_with_attempts_preserved(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        dead = _manager(root, "dead", ttl=1.0)
+        claimed = dead.claim(job.job_id)
+        assert claimed is not None
+        # The owner died: its heartbeat goes stale, its lease mtime ages out.
+        _write_stale_heartbeat(root, dead.identity.worker_id)
+        old = time.time() - 60
+        os.utime(dead.lease_path(job.job_id), (old, old))
+        peer = _manager(root, "peer")
+        assert peer.reclaim_expired() == 1
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "queued"
+        assert record["attempts"] == 1  # the lost attempt still counts
+        assert len(record["executions"]) == 1  # the lost claim stays on the audit trail
+        assert "finished_at" not in record["executions"][0]
+        assert not dead.lease_path(job.job_id).exists()
+
+    def test_fresh_heartbeat_blocks_reclaim(self, tmp_path):
+        """A slow worker with a live heartbeat keeps its lease, however old."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        slow = _manager(root, "slow", ttl=1.0)
+        slow.claim(job.job_id)
+        old = time.time() - 60
+        os.utime(slow.lease_path(job.job_id), (old, old))
+        (root / "workers").mkdir(exist_ok=True)
+        _worker_heartbeat_path(root, slow.identity.worker_id).write_text(
+            json.dumps(
+                {
+                    "worker_id": slow.identity.worker_id,
+                    "updated_at": time.time(),
+                    "poll_interval": 0.1,
+                    "stopped": False,
+                }
+            )
+        )
+        peer = _manager(root, "peer")
+        assert peer.reclaim_expired() == 0
+        assert slow.lease_path(job.job_id).exists()
+
+    def test_unexpired_lease_is_not_reclaimed(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        owner = _manager(root, "owner", ttl=3600.0)
+        owner.claim(job.job_id)
+        _write_stale_heartbeat(root, owner.identity.worker_id)  # dead, but TTL holds
+        peer = _manager(root, "peer")
+        assert peer.reclaim_expired() == 0
+
+    def test_reclaim_fails_job_when_attempts_exhausted(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke", max_attempts=1)
+        dead = _manager(root, "dead", ttl=1.0)
+        dead.claim(job.job_id)
+        _write_stale_heartbeat(root, dead.identity.worker_id)
+        old = time.time() - 60
+        os.utime(dead.lease_path(job.job_id), (old, old))
+        peer = _manager(root, "peer")
+        assert peer.reclaim_expired() == 1
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "failed"
+        assert "died during attempt 1/1" in record["error"]
+
+    def test_reclaim_drops_lease_when_spool_record_exists(self, tmp_path):
+        """A release that crashed between its two steps must not duplicate."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        dead = _manager(root, "dead", ttl=1.0)
+        claimed = dead.claim(job.job_id)
+        # Simulate the crash window: terminal record written, lease not yet
+        # removed, owner gone.
+        claimed.status = "done"
+        (root / "jobs" / f"{job.job_id}.json").write_text(json.dumps(claimed.to_dict()))
+        _write_stale_heartbeat(root, dead.identity.worker_id)
+        old = time.time() - 60
+        os.utime(dead.lease_path(job.job_id), (old, old))
+        peer = _manager(root, "peer")
+        assert peer.reclaim_expired() == 0  # nothing requeued...
+        assert not dead.lease_path(job.job_id).exists()  # ...stale lease dropped
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "done"  # the spool stayed authoritative
+
+    def test_cancelled_lease_reclaims_to_cancelled(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        dead = _manager(root, "dead", ttl=1.0)
+        claimed = dead.claim(job.job_id)
+        claimed.cancel_requested = True
+        dead.write_lease(claimed)
+        _write_stale_heartbeat(root, dead.identity.worker_id)
+        old = time.time() - 60
+        os.utime(dead.lease_path(job.job_id), (old, old))
+        assert _manager(root, "peer").reclaim_expired() == 1
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "cancelled"
+
+    def test_heartbeat_staleness_detection(self):
+        now = time.time()
+        assert worker_is_alive({"updated_at": now, "poll_interval": 0.1, "stopped": False})
+        assert not worker_is_alive({"updated_at": now, "stopped": True})
+        assert not worker_is_alive({"updated_at": now - 3600, "stopped": False})
+        # The threshold scales with the poll interval of a slow worker.
+        assert worker_is_alive({"updated_at": now - 20, "poll_interval": 10.0})
+        assert not worker_is_alive({"updated_at": now - 40, "poll_interval": 10.0})
+
+
+# -- cluster: worker loop -------------------------------------------------------------
+
+
+class TestClusterWorker:
+    def _worker(self, root, **overrides) -> ClusterWorker:
+        config = dict(root=root, poll_interval=0.02, lease_ttl=5.0)
+        config.update(overrides)
+        return ClusterWorker(WorkerConfig(**config))
+
+    def test_worker_serves_jobs_exactly_once(self, tmp_path):
+        root = tmp_path / "svc"
+        for index in range(2):
+            submit_job(root, "smoke", params={"seed": 50 + index})
+        worker = self._worker(root)
+        assert worker.run(max_jobs=2, idle_exit=0.1) == 2
+        records = [json.loads(p.read_text()) for p in sorted((root / "jobs").glob("*.json"))]
+        assert [r["status"] for r in records] == ["done", "done"]
+        assert all(len(r["executions"]) == 1 for r in records)
+        assert all(
+            r["executions"][0]["worker"] == worker.identity.worker_id for r in records
+        )
+        heartbeat = read_worker_heartbeats(root)[worker.identity.worker_id]
+        assert heartbeat["jobs_done"] == 2 and heartbeat["stopped"] is True
+        assert not worker_is_alive(heartbeat)  # clean exit is never "alive"
+
+    def test_two_inprocess_workers_share_one_spool(self, tmp_path):
+        """Two concurrent workers drain one burst with zero double-claims."""
+        root = tmp_path / "svc"
+        for index in range(6):
+            submit_job(root, "smoke", params={"seed": 70 + index})
+        workers = [self._worker(root, label=f"w{i}") for i in range(2)]
+        threads = [
+            threading.Thread(target=worker.run, kwargs={"idle_exit": 0.3})
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = [json.loads(p.read_text()) for p in sorted((root / "jobs").glob("*.json"))]
+        assert len(records) == 6
+        assert all(r["status"] == "done" for r in records)
+        assert all(len(r["executions"]) == 1 for r in records), "a job was double-claimed"
+        assert sum(worker.jobs_done for worker in workers) == 6
+
+    def test_worker_respects_priority_order(self, tmp_path):
+        root = tmp_path / "svc"
+        low = submit_job(root, "smoke", priority=0)
+        high = submit_job(root, "smoke", priority=9, params={"seed": 3})
+        worker = self._worker(root)
+        first = worker.step()
+        assert first.job_id == high.job_id
+        assert worker.step().job_id == low.job_id
+
+    def test_worker_cancels_marked_queued_job_without_executing(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        assert request_cancel(root, job.job_id) is True
+        worker = self._worker(root)
+        finished = worker.step()
+        assert finished.status == "cancelled"
+        assert finished.result is None  # nothing was dispatched
+        assert worker.jobs_cancelled == 1
+        assert not (root / "jobs" / f"{job.job_id}.cancel").exists()
+
+    def test_cancel_reaches_leased_job(self, tmp_path):
+        """request_cancel finds a job whose record lives under a lease."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        manager = _manager(root, "holder")
+        claimed = manager.claim(job.job_id)
+        assert claimed is not None
+        assert request_cancel(root, job.job_id) is True
+        assert (root / "jobs" / f"{job.job_id}.cancel").exists()
+        assert request_cancel(root, "never-existed") is False
+
+    def test_worker_retries_failed_execution_via_spool(self, tmp_path, monkeypatch):
+        import repro.service.scheduler as scheduler_module
+
+        calls = {"count": 0}
+        real = scheduler_module.generate_scenario
+
+        def flaky(name, params=None):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient cluster failure")
+            return real(name, params)
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", flaky)
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke", max_attempts=2)
+        worker = self._worker(root)
+        first = worker.step()  # fails, released back to the spool as queued
+        assert first.status == "queued" and "transient" in first.error
+        second = worker.step()  # any worker may pick the retry up
+        assert second.status == "done" and second.attempts == 2
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert len(record["executions"]) == 2
+
+    def test_worker_idle_exit_rechecks_spool(self, tmp_path, monkeypatch):
+        """A submission landing during the final sleep is served, not lost."""
+        root = tmp_path / "svc"
+        worker = self._worker(root)
+        real_claim = worker._claim_next
+        raced = {"submitted": False}
+
+        def claim_with_late_submission():
+            job = real_claim()
+            if job is None and not raced["submitted"]:
+                # The cycle's spool scan found nothing; the submission lands
+                # now — after the scan, before the idle-deadline check.
+                raced["submitted"] = True
+                submit_job(root, "smoke")
+            return job
+
+        monkeypatch.setattr(worker, "_claim_next", claim_with_late_submission)
+        # idle_exit=0: the deadline fires on the very first idle cycle, so
+        # only the final spool re-check can see the racing submission.
+        assert worker.run(max_jobs=1, idle_exit=0.0) == 1
+
+    def test_status_reports_leased_job_as_running(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        _manager(root, "holder").claim(job.job_id)
+        report = service_status(root)
+        assert report["jobs"]["counts"] == {"running": 1}
+        assert report["cluster"] is not None
+        leases = report["cluster"]["leases"]
+        assert len(leases) == 1 and leases[0]["job_id"] == job.job_id
+        assert active_leases(root)[0]["attempts"] == 1
+
+
+# -- cluster: supervisor --------------------------------------------------------------
+
+
+class TestClusterSupervisor:
+    def _config(self, root, **overrides) -> ClusterConfig:
+        config = dict(root=root, workers=1, poll_interval=0.05, lease_ttl=5.0)
+        config.update(overrides)
+        return ClusterConfig(**config)
+
+    def test_supervisor_restarts_dead_worker(self, tmp_path):
+        supervisor = ClusterSupervisor(self._config(tmp_path / "svc"))
+        supervisor.start()
+        try:
+            assert supervisor.wait_alive(timeout=60.0)
+            first_pid = supervisor.worker_pids()[0]
+            os.kill(first_pid, 9)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                alive = supervisor.poll()
+                pids = supervisor.worker_pids()
+                if alive == 1 and pids and pids[0] != first_pid:
+                    break
+                time.sleep(0.05)
+            assert supervisor.restarts == 1
+            assert supervisor.worker_pids()[0] != first_pid
+        finally:
+            supervisor.stop()
+
+    def test_supervised_fleet_serves_a_burst(self, tmp_path):
+        root = tmp_path / "svc"
+        supervisor = ClusterSupervisor(self._config(root, workers=2))
+        supervisor.start()
+        try:
+            assert supervisor.wait_alive(timeout=60.0)
+            report = run_loadgen(root, "smoke", jobs=4, timeout=60.0, poll=0.05)
+        finally:
+            supervisor.stop()
+        assert report.done == 4 and report.timed_out == 0
+        assert report.throughput > 0
+        assert report.latency_percentile(0.5) is not None
+        records = [json.loads(p.read_text()) for p in sorted((root / "jobs").glob("*.json"))]
+        assert all(len(r["executions"]) == 1 for r in records)
+
+
+# -- store: concurrent gc vs writers --------------------------------------------------
+
+
+class TestConcurrentStoreGc:
+    def test_eviction_skips_blob_touched_after_scan(self, tmp_path):
+        """The multi-writer guard: a blob refreshed since the scan survives."""
+        store = ResultStore(tmp_path / "store")
+        signatures = [f"{i:02d}" + "9" * 62 for i in range(3)]
+        for index, signature in enumerate(signatures):
+            store.put_layout(signature, tuple(range(8)))
+            os.utime(store._blob_path(signature), (3000 + index, 3000 + index))
+        blobs_dir = tmp_path / "store" / "blobs"
+        entries, total = scan_blobs(blobs_dir)
+        # Between the scan and the eviction, a concurrent process serves a
+        # hit from the oldest blob (refreshing its LRU clock).
+        os.utime(store._blob_path(signatures[0]))
+        evicted, _remaining = evict_scanned_blobs(entries, total, max_bytes=total // 3)
+        assert signatures[0] in store  # freshly touched: spared
+        assert signatures[1] not in store  # next-oldest went instead
+        assert evicted == 2
+
+    def test_eviction_discounts_blob_removed_by_concurrent_gc(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        signatures = [f"{i:02d}" + "a" * 62 for i in range(3)]
+        for index, signature in enumerate(signatures):
+            store.put_layout(signature, tuple(range(8)))
+            os.utime(store._blob_path(signature), (4000 + index, 4000 + index))
+        blobs_dir = tmp_path / "store" / "blobs"
+        entries, total = scan_blobs(blobs_dir)
+        store._blob_path(signatures[0]).unlink()  # a concurrent gc got there first
+        blob_size = total // 3
+        evicted, remaining = evict_scanned_blobs(entries, total, max_bytes=blob_size)
+        # The vanished blob is discounted, one more eviction reaches the cap.
+        assert evicted == 1
+        assert remaining <= blob_size
+
+    def test_gc_races_concurrent_writer_without_losing_writes(self, tmp_path):
+        """A gc storm under a live writer never corrupts or crashes the store."""
+        store = ResultStore(tmp_path / "store")
+        stop = threading.Event()
+        errors: list = []
+
+        def writer():
+            index = 0
+            try:
+                while not stop.is_set():
+                    signature = f"{index % 97:02x}" + "b" * 62
+                    store.put_layout(signature, (index,))
+                    index += 1
+            except Exception as error:  # pragma: no cover — the assertion target
+                errors.append(error)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(25):
+                store.gc(max_bytes=256)
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        final = "00" + "c" * 62
+        store.put_layout(final, (1, 2, 3))
+        assert store.get_layout(final) == (1, 2, 3)  # the store still works
+
+
+# -- daemon: idle-exit race -----------------------------------------------------------
+
+
+class TestDaemonIdleExitRace:
+    def test_idle_exit_rechecks_spool_before_exit(self, tmp_path, monkeypatch):
+        """A submission landing after the idle scan must still be served."""
+        root = tmp_path / "svc"
+        daemon = ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01))
+        real_run_once = daemon.scheduler.run_once
+        raced = {"submitted": False}
+
+        def run_once_with_late_submission():
+            job = real_run_once()
+            if job is None and not raced["submitted"]:
+                # The spool scan of this cycle found nothing; the submission
+                # lands now — after the scan, before the idle-deadline check.
+                raced["submitted"] = True
+                submit_job(root, "smoke")
+            return job
+
+        monkeypatch.setattr(daemon.scheduler, "run_once", run_once_with_late_submission)
+        # idle_exit=0: the deadline fires on the very first idle cycle, so
+        # only the final re-check can see the racing submission.
+        assert daemon.run(max_jobs=1, idle_exit=0.0) == 1
+        jobs = [json.loads(p.read_text()) for p in (root / "jobs").glob("*.json")]
+        assert [job["status"] for job in jobs] == ["done"]
+
+
+# -- job record: execution audit trail ------------------------------------------------
+
+
+class TestExecutionAuditTrail:
+    def test_daemon_records_exactly_one_execution(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        finished = wait_for_job(root, job.job_id, timeout=5.0)
+        assert len(finished.executions) == 1
+        entry = finished.executions[0]
+        assert entry["worker"] == "local" and entry["attempt"] == 1
+        assert entry["finished_at"] >= entry["claimed_at"]
+        assert finished.latency_seconds() is not None
+        assert finished.latency_seconds() >= 0.0
+
+    def test_latency_none_until_terminal(self):
+        job = Job(job_id="x", scenario="smoke")
+        assert job.latency_seconds() is None
+        job.attempts = 1
+        job.record_claim("w")
+        job.status = "done"
+        assert job.latency_seconds() is None  # claim never stamped finished
+        job.finish_execution()
+        assert job.latency_seconds() >= 0.0
+
+    def test_record_round_trips_executions(self):
+        job = Job(job_id="x", scenario="smoke")
+        job.attempts = 1
+        job.record_claim("w0")
+        job.finish_execution()
+        assert Job.from_dict(job.to_dict()) == job
+
+
+# -- loadgen --------------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_loadgen_strides_seeds_for_a_cold_burst(self, tmp_path):
+        root = tmp_path / "svc"
+        report = run_loadgen(root, "smoke", jobs=3, wait=False)
+        assert report.submitted == 3
+        records = [json.loads(p.read_text()) for p in sorted((root / "jobs").glob("*.json"))]
+        seeds = sorted(r["params"]["seed"] for r in records)
+        assert seeds == [seeds[0], seeds[0] + 1, seeds[0] + 2]
+
+    def test_loadgen_waits_out_a_worker(self, tmp_path):
+        root = tmp_path / "svc"
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        thread = threading.Thread(target=worker.run, kwargs={"idle_exit": 0.5})
+        thread.start()
+        try:
+            report = run_loadgen(root, "smoke", jobs=3, timeout=30.0, poll=0.05)
+        finally:
+            thread.join()
+        assert report.done == 3 and report.timed_out == 0
+        assert len(report.latencies) == 3
+        payload = report.to_dict()
+        assert payload["throughput_jobs_per_s"] > 0
+        assert payload["latency_p50"] <= payload["latency_max"]
+
+    def test_loadgen_times_out_without_workers(self, tmp_path):
+        report = run_loadgen(tmp_path / "svc", "smoke", jobs=2, timeout=0.2, poll=0.05)
+        assert report.timed_out == 2 and report.done == 0
+
+    def test_loadgen_rejects_bad_scenario_before_submitting(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_loadgen(tmp_path / "svc", "no-such-scenario", jobs=1, wait=False)
+        with pytest.raises(ValueError):
+            run_loadgen(tmp_path / "svc", "smoke", jobs=0)
+
+
+# -- cluster: liveness under long batches, ownership, history ------------------------
+
+
+class TestClusterRobustness:
+    def test_pulse_keeps_lease_fresh_during_long_batch(self, tmp_path, monkeypatch):
+        """A single batch longer than the lease TTL must not get reclaimed."""
+        import repro.service.scheduler as scheduler_module
+
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.05, lease_ttl=0.4))
+        real = scheduler_module.generate_scenario
+
+        def slow(name, params=None):
+            time.sleep(1.0)  # one batch, far longer than the 0.4 s TTL
+            return real(name, params)
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", slow)
+        thread = threading.Thread(target=worker.run, kwargs={"max_jobs": 1, "idle_exit": 0.2})
+        thread.start()
+        peer = _manager(root, "peer", ttl=0.4)
+        reclaimed = 0
+        try:
+            while thread.is_alive():
+                reclaimed += peer.reclaim_expired()
+                time.sleep(0.05)
+        finally:
+            thread.join()
+        assert reclaimed == 0, "a live worker's lease was stolen mid-batch"
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "done"
+        assert len(record["executions"]) == 1
+
+    def test_release_refuses_to_clobber_after_reclaim(self, tmp_path):
+        """A stalled worker whose lease was reclaimed must not overwrite the spool."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        stalled = _manager(root, "stalled", ttl=1.0)
+        claimed = stalled.claim(job.job_id)
+        # The worker stalls; a peer reclaims (stale heartbeat + expired TTL).
+        _write_stale_heartbeat(root, stalled.identity.worker_id)
+        old = time.time() - 60
+        os.utime(stalled.lease_path(job.job_id), (old, old))
+        assert _manager(root, "peer").reclaim_expired() == 1
+        # The stalled worker wakes up and tries to finish "its" job.
+        claimed.status = "done"
+        assert stalled.release(claimed) is False
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "queued"  # the reclaim's requeue survived
+
+    def test_candidate_scan_skips_terminal_but_sees_id_reuse(self, tmp_path):
+        root = tmp_path / "svc"
+        submit_job(root, "smoke", job_id="nightly")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        assert worker.step().status == "done"
+        # The terminal record is remembered by mtime: later scans skip it...
+        assert worker._queued_candidates() == []
+        assert "nightly" in worker._known_terminal
+        gc_service(root, purge_jobs=True)
+        # ...but a purged-and-reused id is a brand-new submission.
+        submit_job(root, "smoke", job_id="nightly", params={"seed": 9})
+        assert worker._queued_candidates() == ["nightly"]
+        assert worker.step().status == "done"
+
+    def test_status_does_not_double_count_release_crash_window(self, tmp_path):
+        """Terminal spool record + lingering lease = one job, not two."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        manager = _manager(root, "crashed")
+        claimed = manager.claim(job.job_id)
+        claimed.status = "done"
+        # release() crashed between its two steps: record written, lease kept.
+        (root / "jobs" / f"{job.job_id}.json").write_text(json.dumps(claimed.to_dict()))
+        assert manager.lease_path(job.job_id).exists()
+        report = service_status(root)
+        assert report["jobs"]["counts"] == {"done": 1}
+        assert len(report["jobs"]["records"]) == 1
+
+    def test_supervisor_max_jobs_ignores_prior_terminal_records(self, tmp_path):
+        """A reused root's history must not satisfy this run's --max-jobs."""
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")
+        ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0)).run(
+            max_jobs=1, idle_exit=0.1
+        )
+        fresh = submit_job(root, "smoke", params={"seed": 9})
+        supervisor = ClusterSupervisor(
+            ClusterConfig(root=root, workers=1, poll_interval=0.05, lease_ttl=5.0)
+        )
+        assert supervisor.run(max_jobs=1, idle_exit=60.0) == 1
+        record = json.loads((root / "jobs" / f"{fresh.job_id}.json").read_text())
+        assert record["status"] == "done"
+
+    def test_reclaim_restores_terminal_record_unchanged(self, tmp_path):
+        """A done record stranded in a dead worker's lease dir is restored,
+        never re-queued — terminal is terminal."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        dead = _manager(root, "dead", ttl=1.0)
+        claimed = dead.claim(job.job_id)
+        claimed.status = "done"
+        claimed.finish_execution()
+        # The worker died right after finishing, before writing the spool
+        # record: the terminal record sits only in its lease directory.
+        dead.write_lease(claimed)
+        (root / "jobs" / f"{job.job_id}.json").unlink(missing_ok=True)
+        _write_stale_heartbeat(root, dead.identity.worker_id)
+        old = time.time() - 60
+        os.utime(dead.lease_path(job.job_id), (old, old))
+        assert _manager(root, "peer").reclaim_expired() == 1
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "done"  # restored, not re-queued
+        assert record["attempts"] == 1
+
+    def test_late_cancel_marker_is_swept_after_terminal(self, tmp_path):
+        """A cancel landing during the final batch must not ambush id reuse."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke", job_id="nightly")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        claimed = worker.lease.claim(job.job_id)
+        # The cancel arrives after the last batch boundary has passed.
+        (root / "jobs" / "nightly.cancel").write_text("")
+        finished = worker._run_claimed(claimed)
+        # Too late to cancel mid-claim is fine either way; the marker must
+        # be gone once the job is terminal.
+        assert finished.is_terminal
+        assert not (root / "jobs" / "nightly.cancel").exists()
+
+    def test_gc_sweeps_orphaned_cancel_markers(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        ServiceDaemon(ServiceConfig(root=root, poll_interval=0.01)).run(
+            max_jobs=1, idle_exit=0.05
+        )
+        # Marker written against the finished job (the daemon never saw it).
+        (root / "jobs" / f"{job.job_id}.cancel").write_text("")
+        (root / "jobs" / "ghost.cancel").write_text("")  # job never existed
+        report = gc_service(root, purge_jobs=True)
+        assert report["purged_jobs"] == 1
+        assert list((root / "jobs").glob("*.cancel")) == []
+
+    def test_supervisor_spool_counts_cache_tracks_history(self, tmp_path):
+        root = tmp_path / "svc"
+        for index in range(3):
+            submit_job(root, "smoke", params={"seed": index})
+        ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0)).run(
+            max_jobs=3, idle_exit=0.1
+        )
+        supervisor = ClusterSupervisor(
+            ClusterConfig(root=root, workers=1, poll_interval=0.05, lease_ttl=5.0)
+        )
+        assert supervisor._spool_counts() == (3, 0)
+        assert len(supervisor._terminal_seen) == 3  # parsed once...
+        assert supervisor._spool_counts() == (3, 0)  # ...then served from mtime cache
+        fresh = submit_job(root, "smoke", params={"seed": 99})
+        assert supervisor._spool_counts() == (3, 1)
+        gc_service(root, purge_jobs=True)
+        assert supervisor._spool_counts() == (0, 1)
+        assert set(supervisor._terminal_seen) == set()
+        assert fresh.job_id not in supervisor._terminal_seen
+
+    def test_refresh_never_resurrects_a_reclaimed_lease(self, tmp_path):
+        """A disowned job's pulse/batch refresh must not recreate the lease."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        stalled = _manager(root, "stalled", ttl=1.0)
+        claimed = stalled.claim(job.job_id)
+        # A reclaimer renamed the lease away while the worker was frozen.
+        _write_stale_heartbeat(root, stalled.identity.worker_id)
+        old = time.time() - 60
+        os.utime(stalled.lease_path(job.job_id), (old, old))
+        assert _manager(root, "peer").reclaim_expired() == 1
+        # The frozen worker wakes into a refresh: it must learn it lost.
+        assert stalled.refresh_lease(claimed) is False
+        assert not stalled.lease_path(job.job_id).exists()  # not resurrected
+        assert stalled.release(claimed) is False  # and release stays refused
+
+    def test_on_batch_disowns_job_when_lease_was_reclaimed(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        claimed = worker.lease.claim(job.job_id)
+        worker.lease.lease_path(job.job_id).unlink()  # a reclaim stole it
+        worker._on_batch(claimed)
+        assert claimed.cancel_requested  # stop working a job a peer now owns
+        assert not worker.lease.lease_path(job.job_id).exists()
+
+    def test_disowned_job_does_not_consume_max_jobs(self, tmp_path, monkeypatch):
+        """An outcome discarded by a reclaim must not count as finished work."""
+        import repro.service.scheduler as scheduler_module
+
+        root = tmp_path / "svc"
+        submit_job(root, "smoke", job_id="stolen")
+        submit_job(root, "smoke", job_id="kept", params={"seed": 9})
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        real = scheduler_module.generate_scenario
+
+        def stealing(name, params=None):
+            # Mid-execution of "stolen", a reclaimer takes the lease away.
+            stolen_lease = worker.lease.lease_path("stolen")
+            if stolen_lease.exists():
+                stolen_lease.unlink()
+            return real(name, params)
+
+        monkeypatch.setattr(scheduler_module, "generate_scenario", stealing)
+        # max_jobs=1 must be satisfied by the *owned* outcome ("kept"), not
+        # by the discarded "stolen" one.
+        assert worker.run(max_jobs=1, idle_exit=0.5) == 1
+        assert worker.jobs_done == 1
+        kept = json.loads((root / "jobs" / "kept.json").read_text())
+        assert kept["status"] == "done"
+
+    def test_gc_keeps_cancel_marker_of_leased_job(self, tmp_path):
+        """A pending cancel for a claimed job must survive the marker sweep."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        _manager(root, "holder").claim(job.job_id)
+        assert request_cancel(root, job.job_id) is True
+        gc_service(root, purge_jobs=True)
+        assert (root / "jobs" / f"{job.job_id}.cancel").exists()
+
+    def test_supervisor_gives_up_when_workers_crash_loop(self, tmp_path, monkeypatch):
+        """All workers dead + restart budget spent must exit, not hang."""
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")  # pending work keeps the spool active
+        supervisor = ClusterSupervisor(
+            ClusterConfig(root=root, workers=1, poll_interval=0.05, max_restarts=2)
+        )
+        monkeypatch.setattr(
+            supervisor,
+            "worker_command",
+            lambda slot: [sys.executable, "-c", "raise SystemExit(3)"],
+        )
+        start = time.monotonic()
+        # Without the give-up, the queued job keeps `active` nonzero and
+        # this would sleep forever despite zero live workers.
+        assert supervisor.run(idle_exit=60.0) == 0
+        assert time.monotonic() - start < 30.0
+        assert supervisor.restarts == 2
+
+    def test_disowned_worker_leaves_requeued_jobs_cancel_marker(self, tmp_path):
+        """A marker written against the requeued job is not ours to consume."""
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        claimed = worker.lease.claim(job.job_id)
+        # A reclaim takes the lease and requeues the job...
+        worker.lease.lease_path(job.job_id).unlink()
+        (root / "jobs" / f"{job.job_id}.json").write_text(json.dumps(job.to_dict()))
+        # ...and the operator cancels the *requeued* job.
+        assert request_cancel(root, job.job_id) is True
+        marker = root / "jobs" / f"{job.job_id}.cancel"
+        marker_seen = marker.exists()
+        finished = worker._run_claimed(claimed)
+        assert marker_seen and marker.exists()  # pending for the next claimer
+        assert finished.is_terminal  # the disowned outcome itself was dropped
+        record = json.loads((root / "jobs" / f"{job.job_id}.json").read_text())
+        assert record["status"] == "queued"  # requeued record untouched
+
+    def test_gc_sweeps_dead_worker_heartbeats_and_empty_lease_dirs(self, tmp_path):
+        root = tmp_path / "svc"
+        submit_job(root, "smoke")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        worker.run(max_jobs=1, idle_exit=0.1)  # exits with a stopped heartbeat
+        worker_id = worker.identity.worker_id
+        assert (root / "workers" / f"{worker_id}.json").exists()
+        assert (root / "leases" / worker_id).exists()
+        report = gc_service(root)
+        assert report["purged_workers"] == 1
+        assert not (root / "workers" / f"{worker_id}.json").exists()
+        assert not (root / "leases" / worker_id).exists()
+
+    def test_gc_keeps_live_workers_and_pending_leases(self, tmp_path):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        # A dead worker still holding a lease: both remnants must survive
+        # (reclaim needs the stale heartbeat to judge the owner).
+        dead = _manager(root, "dead", ttl=3600.0)
+        dead.claim(job.job_id)
+        _write_stale_heartbeat(root, dead.identity.worker_id)
+        # A live worker with an empty lease dir must survive untouched.
+        live = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        live._heartbeat(force=True)
+        assert gc_service(root)["purged_workers"] == 0
+        assert (root / "workers" / f"{dead.identity.worker_id}.json").exists()
+        assert dead.lease_path(job.job_id).exists()
+        assert (root / "leases" / live.identity.worker_id).exists()
+
+    def test_supervisor_stop_request_ends_serve_forever(self, tmp_path):
+        """The SIGTERM path: request_stop unwinds run() and reaps the fleet."""
+        supervisor = ClusterSupervisor(
+            ClusterConfig(root=tmp_path / "svc", workers=1, poll_interval=0.05, lease_ttl=5.0)
+        )
+        threading.Timer(0.5, supervisor.request_stop).start()
+        # No max_jobs, no idle_exit: without the stop request this loops forever.
+        assert supervisor.run() == 0
+        assert supervisor.worker_pids() == []  # fleet reaped by stop()
+
+    def test_reclaim_fast_path_never_parses_fresh_leases(self, tmp_path, monkeypatch):
+        root = tmp_path / "svc"
+        job = submit_job(root, "smoke")
+        _manager(root, "owner", ttl=5.0).claim(job.job_id)  # freshly refreshed
+        peer = _manager(root, "peer", ttl=5.0)
+
+        def boom(path):
+            raise AssertionError("fresh lease was parsed")
+
+        monkeypatch.setattr(peer, "_lease_ttl_of", boom)
+        assert peer.reclaim_expired() == 0  # one stat, no read
