@@ -46,8 +46,17 @@ of K lease-claiming worker processes; ``status --cluster`` shows per-worker
 liveness, leases and throughput, and ``loadgen`` measures the fleet::
 
     python -m repro.cli serve   --root svc --workers 3 --lease-ttl 10 &
-    python -m repro.cli loadgen --root svc --scenario dense-bus --jobs 24
+    python -m repro.cli loadgen --root svc --scenario dense-bus --jobs 24 --verify
     python -m repro.cli status  --root svc --cluster
+
+Every lifecycle transition is appended to the root's event log; ``events``
+tails it and ``metrics`` aggregates the fleet's snapshots (see DESIGN.md
+§"Observability layer")::
+
+    python -m repro.cli events  --root svc --tail 20
+    python -m repro.cli events  --root svc --job JOB_ID --json
+    python -m repro.cli metrics --root svc
+    python -m repro.cli flows   --run gsino --trace
 """
 
 from __future__ import annotations
@@ -80,6 +89,9 @@ from repro.flow.flows import (
 from repro.flow.runner import FlowRunner, StageExecution
 from repro.gsino.config import GsinoConfig
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
+from repro.obs.events import follow_events, format_event, iter_events, read_events
+from repro.obs.metrics import format_metrics, merge_snapshots
+from repro.obs.trace import Tracer
 from repro.service import (
     ClusterConfig,
     ClusterSupervisor,
@@ -97,6 +109,7 @@ from repro.service import (
     wait_for_job,
 )
 from repro.service.cluster import format_loadgen_report
+from repro.service.store import read_cumulative_store_stats
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 
 
@@ -217,6 +230,11 @@ def _add_flows_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--scale", type=float, default=0.03, help="benchmark size scale in (0, 1]")
     parser.add_argument("--seed", type=int, default=7, help="random seed")
     parser.add_argument("--bound", type=float, default=None, help="crosstalk bound in volts")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans (stages, solves, dispatches) and print the trace report",
+    )
     _add_engine_arguments(parser)
 
 
@@ -377,6 +395,40 @@ def _add_loadgen_parser(subparsers: argparse._SubParsersAction) -> None:
         action="store_true",
         help="submit the burst and return immediately (no report)",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check the event-log report against a spool scan",
+    )
+
+
+def _add_events_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "events", help="print a service root's append-only event log"
+    )
+    _add_root_argument(parser)
+    parser.add_argument(
+        "--tail", type=_positive_int, default=None, metavar="N", help="only the newest N events"
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep printing new events as they are appended (Ctrl-C to stop)",
+    )
+    parser.add_argument(
+        "--job", default=None, metavar="ID", help="only events touching one job id"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="one raw JSON record per line (JSONL)"
+    )
+
+
+def _add_metrics_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "metrics", help="aggregate fleet metrics snapshots and store lifetime stats"
+    )
+    _add_root_argument(parser)
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
 
 
 def _add_cancel_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -415,6 +467,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_submit_parser(subparsers)
     _add_status_parser(subparsers)
     _add_loadgen_parser(subparsers)
+    _add_events_parser(subparsers)
+    _add_metrics_parser(subparsers)
     _add_cancel_parser(subparsers)
     _add_gc_parser(subparsers)
     return parser
@@ -493,6 +547,7 @@ def _instance_run_setup(args: argparse.Namespace):
     engine = Engine(
         backend=create_backend(args.backend, args.workers),
         cache=None if args.no_cache else SolutionCache(store=store),
+        tracer=Tracer() if getattr(args, "trace", False) else None,
     )
     return circuit, config, store, engine
 
@@ -556,7 +611,7 @@ def _run_flows(args: argparse.Namespace) -> int:
     circuit, config, store, engine = _instance_run_setup(args)
     with engine:
         context = build_context(circuit.grid, circuit.netlist, config, engine)
-        runner = FlowRunner(context, store=store)
+        runner = FlowRunner(context, store=store, tracer=engine.tracer)
         results = {name: run_flow(name, context, runner=runner) for name in names}
     print(
         f"{circuit.profile.name}: {circuit.netlist.num_nets} nets, "
@@ -580,6 +635,8 @@ def _run_flows(args: argparse.Namespace) -> int:
             f"  resumed from {args.store}: {counts['restored']} stage(s) restored, "
             f"{counts['executed']} executed"
         )
+    if engine.tracer is not None:
+        print(engine.tracer.format_report())
     return 0
 
 
@@ -679,6 +736,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             timeout=args.timeout,
             wait=not args.no_wait,
+            verify=args.verify,
         )
     except (KeyError, TypeError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
@@ -824,6 +882,56 @@ def _run_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_events(args: argparse.Namespace) -> int:
+    def render(record: Dict[str, object]) -> str:
+        return json.dumps(record) if args.json else format_event(record)
+
+    if args.follow:
+        try:
+            for record in follow_events(args.root):
+                if args.job is not None and record.get("job") != args.job:
+                    continue
+                print(render(record), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    records = read_events(args.root, job_id=args.job, tail=args.tail)
+    for record in records:
+        print(render(record))
+    if not records and not args.json:
+        print("no events recorded")
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    # The fleet view is the merge of each writer's *latest* snapshot: a
+    # registry snapshot is cumulative over its process's lifetime, so only
+    # the newest one per writer counts (older ones are subsets of it).
+    latest: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for record in iter_events(args.root, event="metrics"):
+        snapshot = record.get("metrics")
+        if isinstance(snapshot, dict):
+            latest[str(record.get("writer"))] = snapshot
+    merged = merge_snapshots(latest.values())
+    store_stats = None
+    if (args.root / "store").exists():
+        store_stats = read_cumulative_store_stats(args.root / "store")
+    if args.json:
+        payload = {
+            "root": str(args.root),
+            "writers": sorted(latest),
+            "metrics": merged,
+            "store": None if store_stats is None else store_stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"service root: {args.root} ({len(latest)} reporting writer(s))")
+    print(format_metrics(merged))
+    if store_stats is not None:
+        print(f"store lifetime: {store_stats}")
+    return 0
+
+
 def _run_cancel(args: argparse.Namespace) -> int:
     if request_cancel(args.root, args.job_id):
         print(f"cancellation requested for {args.job_id}")
@@ -870,6 +978,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": _run_submit,
         "status": _run_status,
         "loadgen": _run_loadgen,
+        "events": _run_events,
+        "metrics": _run_metrics,
         "cancel": _run_cancel,
         "gc": _run_gc,
     }

@@ -31,6 +31,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.cache import CacheStats, SolutionCache
 from repro.engine.signature import panel_signature
+from repro.obs.trace import Tracer, maybe_span
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig, solve_min_area_sino
 from repro.sino.net_ordering import net_ordering_only
 from repro.sino.panel import SinoProblem, SinoSolution
@@ -122,15 +123,21 @@ class Engine:
     work and results: :func:`repro.gsino.pipeline.compare_flows` threads a
     single engine through all three flows so ID+NO, iSINO and GSINO solve
     each distinct panel instance exactly once between them.
+
+    An optional :class:`~repro.obs.trace.Tracer` records a span per batch
+    solve (with an inner span around the backend dispatch); absent one, the
+    instrumentation is a no-op check.
     """
 
     def __init__(
         self,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[SolutionCache] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.backend = backend or SerialBackend()
         self.cache = cache
+        self.tracer = tracer
 
     # -- cache statistics ---------------------------------------------------------
 
@@ -210,36 +217,44 @@ class Engine:
         ordered = sorted(tasks, key=lambda task: task.key)
         if len({task.key for task in ordered}) != len(ordered):
             raise ValueError("task keys must be unique within a batch")
-        solutions: Dict[PanelKey, SinoSolution] = {}
-        problems: Dict[PanelKey, SinoProblem] = {task.key: task.problem for task in ordered}
-        pending_signature: Dict[PanelKey, str] = {}
-        unique_tasks: Dict[str, PanelTask] = {}
+        with maybe_span(self.tracer, "engine.solve_tasks") as span:
+            solutions: Dict[PanelKey, SinoSolution] = {}
+            problems: Dict[PanelKey, SinoProblem] = {task.key: task.problem for task in ordered}
+            pending_signature: Dict[PanelKey, str] = {}
+            unique_tasks: Dict[str, PanelTask] = {}
 
-        for task in ordered:
-            signature = task.signature()
-            if self.cache is not None:
-                cached = self.cache.get(signature, task.problem)
-                if cached is not None:
-                    solutions[task.key] = cached
-                    continue
-            pending_signature[task.key] = signature
-            unique_tasks.setdefault(signature, task)
+            for task in ordered:
+                signature = task.signature()
+                if self.cache is not None:
+                    cached = self.cache.get(signature, task.problem)
+                    if cached is not None:
+                        solutions[task.key] = cached
+                        continue
+                pending_signature[task.key] = signature
+                unique_tasks.setdefault(signature, task)
 
-        solved = self.backend.map_tasks(solve_panel_task, list(unique_tasks.values()))
-        by_signature = dict(
-            zip(unique_tasks.keys(), (solution for _key, solution in solved))
-        )
-        if self.cache is not None:
-            for signature, solution in by_signature.items():
-                self.cache.put(signature, solution)
-        for panel_key, signature in pending_signature.items():
-            template = by_signature[signature]
-            solutions[panel_key] = SinoSolution(
-                problem=problems[panel_key], layout=list(template.layout)
+            with maybe_span(self.tracer, "backend.dispatch", tasks=len(unique_tasks)):
+                solved = self.backend.map_tasks(solve_panel_task, list(unique_tasks.values()))
+            by_signature = dict(
+                zip(unique_tasks.keys(), (solution for _key, solution in solved))
             )
+            if self.cache is not None:
+                for signature, solution in by_signature.items():
+                    self.cache.put(signature, solution)
+            for panel_key, signature in pending_signature.items():
+                template = by_signature[signature]
+                solutions[panel_key] = SinoSolution(
+                    problem=problems[panel_key], layout=list(template.layout)
+                )
+            if span is not None:
+                span.add(
+                    tasks=len(ordered),
+                    cache_hits=len(ordered) - len(pending_signature),
+                    dispatched=len(unique_tasks),
+                )
 
-        # Assemble in sorted order so dict insertion order is reproducible.
-        return {task.key: solutions[task.key] for task in ordered}
+            # Assemble in sorted order so dict insertion order is reproducible.
+            return {task.key: solutions[task.key] for task in ordered}
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -30,6 +30,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.engine.signature import stage_signature
 from repro.flow.graph import ArtifactStore, FlowContext, FlowGraph
+from repro.obs.events import EventLog
+from repro.obs.trace import Tracer, maybe_span
 
 #: Outcome labels of one artifact materialisation.
 EXECUTED = "executed"
@@ -74,11 +76,24 @@ class FlowRunner:
     are materialised once.  Attaching a ``store`` extends that sharing
     across *processes*: interrupted or repeated runs restore persisted
     artifacts stage-granular instead of recomputing them.
+
+    Observability is opt-in: a ``tracer`` records one span per artifact
+    materialisation (nested under whatever the caller opened), and an
+    ``events`` log receives one ``stage`` event per materialisation with
+    its outcome and wall-clock seconds.
     """
 
-    def __init__(self, context: FlowContext, store: Optional[ArtifactStore] = None) -> None:
+    def __init__(
+        self,
+        context: FlowContext,
+        store: Optional[ArtifactStore] = None,
+        tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
         self.context = context
         self.store = store
+        self.tracer = tracer
+        self.events = events
         self.executions: List[StageExecution] = []
         self._values: Dict[str, object] = {}
         # Per-graph signature caches.  The graph object itself is pinned in
@@ -143,9 +158,12 @@ class FlowRunner:
                 needed in tainted for needed in stage.inputs
             ):
                 tainted.add(artifact)
-            values[artifact] = self._materialize_one(
-                graph, artifact, values, use_store=artifact not in tainted
-            )
+            with maybe_span(self.tracer, f"stage.{artifact}") as span:
+                values[artifact] = self._materialize_one(
+                    graph, artifact, values, use_store=artifact not in tainted
+                )
+                if span is not None and self.executions:
+                    span.add(**{self.executions[-1].outcome: 1})
         return values
 
     def _materialize_one(
@@ -208,6 +226,15 @@ class FlowRunner:
                 signature=signature,
             )
         )
+        if self.events is not None:
+            self.events.emit(
+                "stage",
+                flow=flow,
+                artifact=artifact,
+                stage=stage,
+                outcome=outcome,
+                seconds=round(seconds, 6),
+            )
 
     # -- statistics ---------------------------------------------------------------
 

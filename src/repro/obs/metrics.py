@@ -1,0 +1,257 @@
+"""Process-local counters, gauges and solve-latency histograms.
+
+A :class:`MetricsRegistry` is a cheap, dependency-free bag of named
+instruments owned by one daemon or cluster worker:
+
+* :class:`Counter` — monotonically increasing totals (jobs released,
+  leases reclaimed);
+* :class:`Gauge` — last-written values (spool queue depth, cache hit
+  totals);
+* :class:`Histogram` — bucketed distributions with sum/count and
+  bucket-interpolated percentile estimation (solve latency).
+
+Instruments are created on first use (``registry.counter("lease.reclaimed")``)
+so emitting code never pre-declares anything.  At heartbeat boundaries the
+owning process serialises ``registry.snapshot()`` into the event log as a
+``metrics`` event; ``repro metrics`` then merges the *latest snapshot per
+writer* from the log, which is how per-process registries compose into a
+cluster view without shared memory.  Histogram snapshots carry raw bucket
+counts, so merged percentiles stay well-defined.
+
+Thread-safe throughout (one lock per registry); all operations are O(1)
+per observation.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency bucket upper bounds, in seconds.  Chosen for panel-solve
+#: latencies: sub-millisecond cache hits up through multi-minute cold flows.
+_BUCKET_EDGES = "0.001 0.005 0.01 0.05 0.1 0.25 0.5 1.0 2.5 5.0 10.0 30.0 60.0 300.0"
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(edge) for edge in _BUCKET_EDGES.split())
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution with interpolated percentiles.
+
+    ``bounds`` are inclusive upper edges; observations above the last bound
+    land in a final overflow bucket.  Percentiles assume a uniform spread
+    within each bucket (linear interpolation between bucket edges), which
+    is exact enough for latency reporting without storing samples.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty bucket bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at ``fraction`` (0..1) of the distribution."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        return _bucket_percentile(self.bounds, self.bucket_counts, self.count, fraction)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": round(self.total, 6),
+            "count": self.count,
+        }
+
+
+def _bucket_percentile(
+    bounds: Sequence[float], bucket_counts: Sequence[int], count: int, fraction: float
+) -> float:
+    """Linear-interpolated percentile over bucket counts (shared with merges)."""
+    rank = fraction * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(bucket_counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index] if index < len(bounds) else bounds[-1]
+            within = (rank - cumulative) / bucket_count if bucket_count else 0.0
+            return lower + (upper - lower) * min(1.0, max(0.0, within))
+        cumulative += bucket_count
+    return float(bounds[-1])
+
+
+class MetricsRegistry:
+    """Named instruments of one process, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every instrument serialised by name (the ``metrics`` event payload)."""
+        with self._lock:
+            snapshot: Dict[str, Dict[str, object]] = {}
+            for name, counter in self._counters.items():
+                snapshot[name] = counter.to_dict()
+            for name, gauge in self._gauges.items():
+                snapshot[name] = gauge.to_dict()
+            for name, histogram in self._histograms.items():
+                snapshot[name] = histogram.to_dict()
+            return dict(sorted(snapshot.items()))
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Combine per-writer snapshots into one cluster-wide view.
+
+    Counters and histograms sum (totals across processes); gauges sum too —
+    every gauge we emit (queue depth, cache hits) is a per-process share of
+    a fleet total, so summing is the meaningful merge.  Histograms must
+    share bucket bounds to merge; mismatched bounds keep the first.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, record in snapshot.items():
+            kind = record.get("type")
+            if name not in merged:
+                merged[name] = {
+                    key: (list(v) if isinstance(v, list) else v) for key, v in record.items()
+                }
+                continue
+            target = merged[name]
+            if kind != target.get("type"):
+                continue
+            if kind in ("counter", "gauge"):
+                target["value"] = float(target.get("value", 0.0)) + float(record.get("value", 0.0))
+            elif kind == "histogram":
+                if list(record.get("bounds", [])) != list(target.get("bounds", [])):
+                    continue
+                counts = list(target.get("bucket_counts", []))
+                for index, value in enumerate(record.get("bucket_counts", [])):
+                    counts[index] += int(value)
+                target["bucket_counts"] = counts
+                target["sum"] = round(
+                    float(target.get("sum", 0.0)) + float(record.get("sum", 0.0)), 6
+                )
+                target["count"] = int(target.get("count", 0)) + int(record.get("count", 0))
+    return dict(sorted(merged.items()))
+
+
+def snapshot_percentile(record: Dict[str, object], fraction: float) -> Optional[float]:
+    """Percentile from a serialised histogram record, or ``None`` if empty."""
+    if record.get("type") != "histogram" or not int(record.get("count", 0)):
+        return None
+    bounds = [float(b) for b in record.get("bounds", [])]
+    counts = [int(c) for c in record.get("bucket_counts", [])]
+    if not bounds or len(counts) != len(bounds) + 1:
+        return None
+    return _bucket_percentile(bounds, counts, int(record["count"]), fraction)
+
+
+def format_metrics(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Human-readable rendering of a (possibly merged) snapshot."""
+    if not snapshot:
+        return "metrics: none recorded"
+    lines = ["metrics:"]
+    for name, record in snapshot.items():
+        kind = record.get("type")
+        if kind == "histogram":
+            count = int(record.get("count", 0))
+            total = float(record.get("sum", 0.0))
+            mean = total / count if count else 0.0
+            p50 = snapshot_percentile(record, 0.50)
+            p90 = snapshot_percentile(record, 0.90)
+            p99 = snapshot_percentile(record, 0.99)
+            detail = f"count={count} mean={mean:.4f}s"
+            if p50 is not None and p90 is not None and p99 is not None:
+                detail += f" p50={p50:.4f}s p90={p90:.4f}s p99={p99:.4f}s"
+            lines.append(f"  {name} (histogram) {detail}")
+        else:
+            value = float(record.get("value", 0.0))
+            rendered = str(int(value)) if value.is_integer() else f"{value:.4f}"
+            lines.append(f"  {name} ({kind}) {rendered}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "snapshot_percentile",
+    "format_metrics",
+]

@@ -1,0 +1,190 @@
+"""Nestable span tracing for solve and flow execution.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per traced
+region (an ``Engine.solve_tasks`` call, a backend dispatch, a flow-stage
+materialisation).  Spans nest via a thread-local stack, so a stage span
+opened by the flow runner naturally becomes the parent of the solve span
+the engine opens inside it, and each span carries wall time
+(``perf_counter``), CPU time (``process_time``) and arbitrary counters
+(tasks solved, cache hits, bytes encoded).
+
+The recorded tree is dumpable two ways:
+
+* :meth:`Tracer.to_tree` — a JSON-serialisable nested structure for
+  programmatic consumers (``repro flows --trace --json``);
+* :meth:`Tracer.format_report` — a flamegraph-style indented text report
+  with per-span wall/CPU/%-of-root columns (``repro flows --trace``).
+
+Tracing is opt-in and zero-cost when absent: every instrumented call site
+takes ``tracer=None`` and the :func:`maybe_span` helper degrades to a
+no-op context manager, so the engine/flow hot paths pay nothing unless a
+tracer was threaded in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One traced region: identity, parentage, timings and counters."""
+
+    def __init__(self, name: str, parent: Optional["Span"] = None) -> None:
+        self.name = name
+        self.span_id = uuid.uuid4().hex[:8]
+        self.parent_id = parent.span_id if parent is not None else None
+        self.children: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.finished = False
+        if parent is not None:
+            parent.children.append(self)
+
+    def add(self, **counters: float) -> None:
+        """Accumulate counters onto this span (summing repeated keys)."""
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def finish(self) -> None:
+        """Stamp final wall/CPU durations (idempotent)."""
+        if not self.finished:
+            self.wall_seconds = time.perf_counter() - self._wall_start
+            self.cpu_seconds = time.process_time() - self._cpu_start
+            self.finished = True
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable subtree rooted at this span."""
+        record: Dict[str, object] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+        }
+        if self.counters:
+            record["counters"] = {
+                key: (int(value) if float(value).is_integer() else value)
+                for key, value in sorted(self.counters.items())
+            }
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, wall={self.wall_seconds:.4f}s)"
+
+
+class Tracer:
+    """Collects spans into per-thread trees; safe to share across threads.
+
+    Each thread keeps its own open-span stack, so spans opened by engine
+    worker threads nest under whatever that thread opened — never under
+    another thread's span.  Spans opened with no thread-local parent
+    become roots.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **counters: float) -> Iterator[Span]:
+        """Open a span nested under the calling thread's current span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(name, parent=parent)
+        if counters:
+            span.add(**counters)
+        if parent is None:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.finish()
+
+    @property
+    def roots(self) -> List[Span]:
+        """Top-level spans, in start order."""
+        with self._lock:
+            return list(self._roots)
+
+    def to_tree(self) -> List[Dict[str, object]]:
+        """The whole trace as JSON-serialisable root subtrees."""
+        return [root.to_dict() for root in self.roots]
+
+    def format_report(self, width: int = 30) -> str:
+        """Flamegraph-style text report: indentation is depth, bars are share.
+
+        Each line shows the span name (indented by depth), wall seconds,
+        CPU seconds, percentage of its root's wall time, a proportional
+        bar, and any counters.  Renders even for empty traces.
+        """
+        lines = [
+            "trace report (wall seconds, cpu seconds, % of root)",
+            f"{'span':<{width}} {'wall':>9} {'cpu':>9} {'%root':>6}",
+        ]
+        roots = self.roots
+
+        def render(span: Span, depth: int, root_wall: float) -> None:
+            share = span.wall_seconds / root_wall if root_wall > 0 else 1.0
+            label = ("  " * depth + span.name)[:width]
+            bar = "▇" * max(1, round(share * 12))
+            counters = ""
+            if span.counters:
+                counters = "  " + " ".join(
+                    f"{key}={int(v) if float(v).is_integer() else round(v, 4)}"
+                    for key, v in sorted(span.counters.items())
+                )
+            lines.append(
+                f"{label:<{width}} {span.wall_seconds:>9.4f} {span.cpu_seconds:>9.4f}"
+                f" {share * 100:>5.1f}% {bar}{counters}"
+            )
+            for child in span.children:
+                render(child, depth + 1, root_wall)
+
+        for root in roots:
+            render(root, 0, root.wall_seconds)
+        if not roots:
+            lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+
+@contextmanager
+def maybe_span(tracer: Optional[Tracer], name: str, **counters: float) -> Iterator[Optional[Span]]:
+    """``tracer.span(...)`` when a tracer is present, else a free no-op.
+
+    Instrumented call sites use this so the untraced path costs one
+    ``None`` check — no span objects, no clock reads.
+    """
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **counters) as span:
+        yield span
+
+
+__all__ = ["Span", "Tracer", "maybe_span"]

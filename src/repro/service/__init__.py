@@ -23,8 +23,13 @@ backends) builds on:
   ``repro serve --workers K`` local fleet supervisor and the
   ``repro loadgen`` burst harness.
 
-See DESIGN.md §"Service layer" / §"Cluster layer" for the on-disk formats
-and versioning rules.
+Every lifecycle transition in this layer (submit, claim, release, reclaim,
+cancel, gc, worker start/stop) is also appended to the root's event log
+(:mod:`repro.obs.events`), which ``repro events`` / ``repro metrics`` and
+the typed :class:`repro.obs.snapshot.ServiceSnapshot` consume.
+
+See DESIGN.md §"Service layer" / §"Cluster layer" / §"Observability layer"
+for the on-disk formats and versioning rules.
 """
 
 from repro.service.cluster import (
@@ -58,11 +63,12 @@ from repro.service.scenarios import (
     scenario_spec,
 )
 from repro.service.scheduler import JobOutcome, Scheduler, batch_compatible
-from repro.service.store import ResultStore, StoreStats
+from repro.service.store import ResultStore, StoreStats, read_cumulative_store_stats
 
 __all__ = [
     "ResultStore",
     "StoreStats",
+    "read_cumulative_store_stats",
     "ClusterConfig",
     "ClusterSupervisor",
     "ClusterWorker",

@@ -62,8 +62,11 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.engine.backends import create_backend
 from repro.engine.cache import SolutionCache
 from repro.engine.panels import Engine
+from repro.obs.events import EventCursor, EventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.service.daemon import (
     STALE_HEARTBEAT_SECONDS,
+    _round_latency,
     heartbeat_is_fresh,
     submit_job,
 )
@@ -160,12 +163,14 @@ class LeaseManager:
         root: Union[str, Path],
         identity: WorkerIdentity,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        events: Optional[EventLog] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
         self.root = Path(root)
         self.identity = identity
         self.lease_ttl = lease_ttl
+        self.events = events
         self.my_dir = _leases_dir(self.root) / identity.worker_id
         self.my_dir.mkdir(parents=True, exist_ok=True)
 
@@ -211,6 +216,10 @@ class LeaseManager:
         job.attempts += 1
         job.record_claim(self.identity.worker_id)
         self.write_lease(job)
+        if self.events is not None:
+            self.events.emit(
+                "claimed", job=job.job_id, worker=self.identity.worker_id, attempt=job.attempts
+            )
         return job
 
     def write_lease(self, job: Job) -> None:
@@ -266,6 +275,14 @@ class LeaseManager:
             os.rename(lease, self._job_path(job.job_id))
         except OSError:
             return False  # stolen between the write and the rename
+        if self.events is not None:
+            self.events.emit(
+                "released",
+                job=job.job_id,
+                worker=self.identity.worker_id,
+                status=job.status,
+                latency=_round_latency(job.latency_seconds()),
+            )
         return True
 
     # -- reclaim --------------------------------------------------------------------
@@ -377,6 +394,14 @@ class LeaseManager:
                 self._job_path(job.job_id), json.dumps(job.to_dict(), indent=2) + "\n"
             )
             resolved = True
+            if self.events is not None:
+                self.events.emit(
+                    "reclaimed",
+                    job=job.job_id,
+                    worker=worker,
+                    by=self.identity.worker_id,
+                    status=job.status,
+                )
         try:
             stolen.unlink()
         except OSError:
@@ -503,7 +528,11 @@ class ClusterWorker:
         _jobs_dir(root).mkdir(parents=True, exist_ok=True)
         _workers_dir(root).mkdir(parents=True, exist_ok=True)
         self.identity = identity or WorkerIdentity.create(config.label)
-        self.lease = LeaseManager(root, self.identity, lease_ttl=config.lease_ttl)
+        self.events = EventLog(root, writer=self.identity.worker_id)
+        self.metrics = MetricsRegistry()
+        self.lease = LeaseManager(
+            root, self.identity, lease_ttl=config.lease_ttl, events=self.events
+        )
         self.store = ResultStore(root / "store", max_bytes=config.store_max_bytes)
         self.engine = Engine(
             backend=create_backend(config.backend, config.backend_workers),
@@ -514,6 +543,8 @@ class ClusterWorker:
             engine=self.engine,
             on_batch=self._on_batch,
             worker_id=self.identity.worker_id,
+            metrics=self.metrics,
+            events=self.events,
         )
         self.jobs_done = 0
         self.jobs_failed = 0
@@ -560,6 +591,7 @@ class ClusterWorker:
             for record in records
             if record.get("status") == "queued"
         )
+        self.metrics.gauge("spool.queued").set(len(candidates))
         return [job_id for _priority, _created, job_id in candidates]
 
     def _claim_next(self) -> Optional[Job]:
@@ -696,6 +728,16 @@ class ClusterWorker:
             _workers_dir(Path(self.config.root)) / f"{self.identity.worker_id}.json",
             json.dumps(payload, indent=2) + "\n",
         )
+        if force:
+            # Metrics snapshots ride the *forced* heartbeats only (startup,
+            # job completions, shutdown), so an idle worker appends nothing.
+            self.metrics.gauge("cache.hits").set(stats.hits)
+            self.metrics.gauge("cache.misses").set(stats.misses)
+            self.metrics.gauge("cache.store_hits").set(stats.store_hits)
+            self.store.persist_stats()
+            self.events.emit(
+                "metrics", worker=self.identity.worker_id, metrics=self.metrics.snapshot()
+            )
 
     # -- main loop ------------------------------------------------------------------
 
@@ -705,7 +747,10 @@ class ClusterWorker:
 
     def step(self) -> Optional[Job]:
         """One reclaim-claim-execute cycle; returns the job run, if any."""
-        self.jobs_reclaimed += self.lease.reclaim_expired()
+        reclaimed = self.lease.reclaim_expired()
+        if reclaimed:
+            self.metrics.counter("lease.reclaimed").inc(reclaimed)
+        self.jobs_reclaimed += reclaimed
         job = self._claim_next()
         if job is None:
             self._heartbeat()
@@ -724,6 +769,9 @@ class ClusterWorker:
         during the last poll sleep is served, not stranded.
         """
         self._install_signal_handler()
+        self.events.emit(
+            "worker-started", worker=self.identity.worker_id, pid=self.identity.pid
+        )
         self._heartbeat(force=True)
         self._pulse_stop.clear()
         self._pulse_thread = threading.Thread(
@@ -756,6 +804,7 @@ class ClusterWorker:
             self._pulse_thread.join(timeout=5.0)
             self.engine.shutdown()
             self._heartbeat(stopped=True, force=True)
+            self.events.emit("worker-stopped", worker=self.identity.worker_id, jobs=finished)
         return finished
 
     def _install_signal_handler(self) -> None:
@@ -974,9 +1023,23 @@ class ClusterSupervisor:
 # -- load generation -------------------------------------------------------------------
 
 
+def _nearest_rank(values: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of a sample (``None`` on an empty one)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
 @dataclass
 class LoadgenReport:
-    """Aggregate outcome of one submitted burst (JSON-safe via ``to_dict``)."""
+    """Aggregate outcome of one submitted burst (JSON-safe via ``to_dict``).
+
+    The counts and latencies are derived from the root's *event log* (see
+    :func:`run_loadgen`); ``spool_check`` carries the spool-derived
+    cross-check when the burst ran with ``verify=True``.
+    """
 
     scenario: str
     submitted: int
@@ -986,6 +1049,7 @@ class LoadgenReport:
     timed_out: int = 0
     wall_seconds: float = 0.0
     latencies: List[float] = field(default_factory=list)
+    spool_check: Optional[Dict[str, object]] = None
 
     @property
     def throughput(self) -> float:
@@ -995,14 +1059,10 @@ class LoadgenReport:
 
     def latency_percentile(self, fraction: float) -> Optional[float]:
         """Nearest-rank latency percentile over the finished jobs."""
-        if not self.latencies:
-            return None
-        ordered = sorted(self.latencies)
-        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-        return ordered[rank]
+        return _nearest_rank(self.latencies, fraction)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "scenario": self.scenario,
             "submitted": self.submitted,
             "done": self.done,
@@ -1013,8 +1073,12 @@ class LoadgenReport:
             "throughput_jobs_per_s": round(self.throughput, 3),
             "latency_p50": self.latency_percentile(0.50),
             "latency_p90": self.latency_percentile(0.90),
+            "latency_p99": self.latency_percentile(0.99),
             "latency_max": max(self.latencies) if self.latencies else None,
         }
+        if self.spool_check is not None:
+            payload["spool_check"] = self.spool_check
+        return payload
 
 
 def run_loadgen(
@@ -1027,13 +1091,21 @@ def run_loadgen(
     timeout: float = 300.0,
     poll: float = 0.1,
     wait: bool = True,
+    verify: bool = False,
 ) -> LoadgenReport:
     """Submit a burst of scenario jobs and (optionally) wait them out.
 
     Each job gets a distinct derived seed (``base + i``) when the scenario
     has a ``seed`` parameter, so the burst is cache-cold by construction —
-    the workload the throughput benchmark needs.  Latency is measured per
-    job from submission to its final execution's ``finished_at`` stamp.
+    the workload the throughput benchmark needs.
+
+    The wait loop tails the root's **event log**: every serving process
+    emits a terminal ``released`` (or ``reclaimed``) event carrying the
+    job's submit-to-finish latency, so the hot path reads appended bytes
+    only — zero per-tick spool scans, however many jobs are pending.
+    ``verify=True`` re-derives the counts and percentiles from the spool
+    records once the burst settles (``spool_check`` on the report; the CLI
+    prints both) to prove the two sources agree.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be positive, got {jobs}")
@@ -1044,6 +1116,11 @@ def run_loadgen(
     burst = uuid.uuid4().hex[:6]
     report = LoadgenReport(scenario=scenario, submitted=jobs)
     submitted: List[Job] = []
+    root = Path(root)
+    # Open the cursor before submitting so no terminal event can be missed;
+    # the first poll() drains (and discards) whatever history the log holds.
+    cursor = EventCursor(root)
+    cursor.poll()
     start = time.perf_counter()
     for index in range(jobs):
         job_params = dict(params)
@@ -1064,33 +1141,67 @@ def run_loadgen(
         return report
     pending = {job.job_id: job for job in submitted}
     deadline = time.monotonic() + timeout
-    root = Path(root)
     while pending and time.monotonic() < deadline:
-        for job_id in list(pending):
-            try:
-                record = json.loads(
-                    (_jobs_dir(root) / f"{job_id}.json").read_text(encoding="utf-8")
-                )
-                job = Job.from_dict(record)
-            except (OSError, json.JSONDecodeError, KeyError, ValueError):
-                continue  # leased (file moved) or mid-rewrite; poll again
-            if not job.is_terminal:
+        for record in cursor.poll():
+            if record.get("event") not in ("released", "reclaimed"):
                 continue
-            del pending[job_id]
-            if job.status == "done":
+            job_id = record.get("job")
+            status = record.get("status")
+            if not isinstance(job_id, str) or job_id not in pending:
+                continue
+            if status not in TERMINAL_STATUSES:
+                continue  # a retry went back to queued; keep waiting
+            job = pending.pop(job_id)
+            if status == "done":
                 report.done += 1
-            elif job.status == "failed":
+            elif status == "failed":
                 report.failed += 1
             else:
                 report.cancelled += 1
-            latency = job.latency_seconds()
-            if latency is not None:
-                report.latencies.append(latency)
+            latency = record.get("latency")
+            if not isinstance(latency, (int, float)):
+                # Events of jobs that died without a finished_at stamp (a
+                # reclaimed-to-terminal job) carry no latency; the event
+                # timestamp bounds it.
+                latency = max(0.0, float(record.get("ts", 0.0)) - job.created_at)
+            report.latencies.append(float(latency))
         if pending:
             time.sleep(poll)
     report.timed_out = len(pending)
     report.wall_seconds = time.perf_counter() - start
+    if verify:
+        report.spool_check = _loadgen_spool_check(root, submitted)
     return report
+
+
+def _loadgen_spool_check(root: Path, submitted: List[Job]) -> Dict[str, object]:
+    """Spool-derived counts + percentiles of one burst (the parity check).
+
+    This is the pre-event-log measurement path — one job-record read per
+    submitted job — kept off the hot loop and behind ``verify`` so loadgen
+    normally never scans the spool at all.
+    """
+    counts = {"done": 0, "failed": 0, "cancelled": 0}
+    latencies: List[float] = []
+    for job in submitted:
+        try:
+            record = json.loads(
+                (_jobs_dir(root) / f"{job.job_id}.json").read_text(encoding="utf-8")
+            )
+            settled = Job.from_dict(record)
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            continue  # still leased or never finished; not a settled job
+        if settled.status in counts:
+            counts[settled.status] += 1
+        latency = settled.latency_seconds()
+        if latency is not None:
+            latencies.append(latency)
+    return {
+        **counts,
+        "latency_p50": _nearest_rank(latencies, 0.50),
+        "latency_p90": _nearest_rank(latencies, 0.90),
+        "latency_p99": _nearest_rank(latencies, 0.99),
+    }
 
 
 def format_loadgen_report(report: LoadgenReport) -> List[str]:
@@ -1105,11 +1216,37 @@ def format_loadgen_report(report: LoadgenReport) -> List[str]:
     if report.latencies:
         p50 = report.latency_percentile(0.50)
         p90 = report.latency_percentile(0.90)
+        p99 = report.latency_percentile(0.99)
         lines.append(
             f"loadgen: throughput {report.throughput:.2f} jobs/s; "
-            f"latency p50={p50:.2f}s p90={p90:.2f}s max={max(report.latencies):.2f}s"
+            f"latency p50={p50:.2f}s p90={p90:.2f}s p99={p99:.2f}s "
+            f"max={max(report.latencies):.2f}s"
         )
+    if report.spool_check is not None:
+        check = report.spool_check
+        lines.append(
+            f"loadgen verify[events]: {report.done} done, {report.failed} failed, "
+            f"{report.cancelled} cancelled; p50={_fmt_latency(report.latency_percentile(0.50))} "
+            f"p90={_fmt_latency(report.latency_percentile(0.90))} "
+            f"p99={_fmt_latency(report.latency_percentile(0.99))}"
+        )
+        lines.append(
+            f"loadgen verify[spool]:  {check['done']} done, {check['failed']} failed, "
+            f"{check['cancelled']} cancelled; p50={_fmt_latency(check['latency_p50'])} "
+            f"p90={_fmt_latency(check['latency_p90'])} p99={_fmt_latency(check['latency_p99'])}"
+        )
+        agree = (report.done, report.failed, report.cancelled) == (
+            check["done"],
+            check["failed"],
+            check["cancelled"],
+        )
+        lines.append(f"loadgen verify: {'parity OK' if agree else 'PARITY MISMATCH'}")
     return lines
+
+
+def _fmt_latency(value: Optional[object]) -> str:
+    """Render one latency figure for the verify lines (``-`` when absent)."""
+    return f"{value:.2f}s" if isinstance(value, (int, float)) else "-"
 
 
 __all__ = [

@@ -35,15 +35,13 @@ from typing import Dict, List, Optional, Union
 from repro.engine.backends import create_backend
 from repro.engine.cache import SolutionCache
 from repro.engine.panels import Engine
+from repro.obs.events import EventLog, event_log_for
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import ServiceSnapshot
 from repro.service.queue import Job, JobQueue
 from repro.service.scenarios import scenario_spec
 from repro.service.scheduler import Scheduler
-from repro.service.store import (
-    ResultStore,
-    atomic_write_text,
-    blob_disk_usage,
-    evict_lru_blobs,
-)
+from repro.service.store import ResultStore, atomic_write_text, evict_lru_blobs
 
 #: Heartbeats older than this are reported as a dead/stale daemon.
 STALE_HEARTBEAT_SECONDS = 10.0
@@ -73,6 +71,11 @@ def _job_path(root: Path, job_id: str) -> Path:
 
 def _cancel_path(root: Path, job_id: str) -> Path:
     return _jobs_dir(root) / f"{job_id}.cancel"
+
+
+def _round_latency(latency: Optional[float]) -> Optional[float]:
+    """Round a submit-to-finish latency for event emission (``None`` passes)."""
+    return None if latency is None else round(latency, 6)
 
 
 def _write_job(root: Path, job: Job) -> None:
@@ -124,6 +127,8 @@ class ServiceDaemon:
         self.config = config
         root = Path(config.root)
         _jobs_dir(root).mkdir(parents=True, exist_ok=True)
+        self.events = EventLog(root, writer=f"daemon-{os.getpid()}-{uuid.uuid4().hex[:6]}")
+        self.metrics = MetricsRegistry()
         self.store = ResultStore(root / "store", max_bytes=config.store_max_bytes)
         self.engine = Engine(
             backend=create_backend(config.backend, config.workers),
@@ -135,6 +140,8 @@ class ServiceDaemon:
             self.engine,
             on_claim=self._on_claim,
             on_batch=self._on_batch,
+            metrics=self.metrics,
+            events=self.events,
         )
         self.jobs_done = 0
         self.jobs_failed = 0
@@ -235,6 +242,7 @@ class ServiceDaemon:
                     self._mark_spool_done(job_id)
                     self.jobs_failed += 1
                     self._finished_outside += 1
+                    self.events.emit("reclaimed", job=job_id, status="failed")
                     continue
                 job.status = "queued"
             self.queue.submit(job)
@@ -272,6 +280,7 @@ class ServiceDaemon:
                     self._mark_spool_done(job_id)
                     self.jobs_cancelled += 1
                     self._finished_outside += 1
+                    self.events.emit("released", job=job_id, status="cancelled")
         try:
             marker.unlink()
         except OSError:
@@ -288,6 +297,9 @@ class ServiceDaemon:
         and eventually fails — instead of restarting from zero forever.
         """
         _write_job(Path(self.config.root), job)
+        self.events.emit(
+            "claimed", job=job.job_id, worker=self.scheduler.worker_id, attempt=job.attempts
+        )
 
     def _on_batch(self, job: Job) -> None:
         """Between-batch pulse: honour fresh cancel markers, stay alive.
@@ -339,6 +351,15 @@ class ServiceDaemon:
         atomic_write_text(
             Path(self.config.root) / "service.json", json.dumps(payload, indent=2) + "\n"
         )
+        if force:
+            # Metrics snapshots ride the *forced* heartbeats only (job
+            # completions, shutdown), so an idle daemon appends nothing.
+            self.metrics.gauge("cache.hits").set(stats.hits)
+            self.metrics.gauge("cache.misses").set(stats.misses)
+            self.metrics.gauge("cache.store_hits").set(stats.store_hits)
+            self.metrics.gauge("spool.queued").set(len(self.queue))
+            self.store.persist_stats()
+            self.events.emit("metrics", metrics=self.metrics.snapshot())
 
     # -- main loop ----------------------------------------------------------------
 
@@ -356,6 +377,13 @@ class ServiceDaemon:
             _write_job(Path(self.config.root), job)
             if job.is_terminal:
                 self._mark_spool_done(job.job_id)
+            self.events.emit(
+                "released",
+                job=job.job_id,
+                worker=self.scheduler.worker_id,
+                status=job.status,
+                latency=_round_latency(job.latency_seconds()),
+            )
         if job is not None or self._finished_outside:
             # Spool records are now the source of truth for finished jobs;
             # keeping the objects would grow a serve-forever daemon without
@@ -438,6 +466,7 @@ def submit_job(
     if _job_path(root, job.job_id).exists():
         raise ValueError(f"job id {job.job_id!r} already exists in {root}")
     _write_job(root, job)
+    event_log_for(root).emit("submitted", job=job.job_id, scenario=scenario, priority=priority)
     return job
 
 
@@ -466,6 +495,7 @@ def request_cancel(root: Union[str, Path], job_id: str) -> bool:
     if job is not None and job.is_terminal:
         return False
     atomic_write_text(_cancel_path(root, job_id), "")
+    event_log_for(root).emit("cancel-requested", job=job_id)
     return True
 
 
@@ -512,28 +542,6 @@ def _load_leased_jobs(root: Path) -> List[Job]:
     return jobs
 
 
-def _cluster_report(root: Path) -> Optional[Dict[str, object]]:
-    """Per-worker liveness + active leases, or ``None`` off-cluster roots."""
-    if not (root / "workers").exists() and not (root / "leases").exists():
-        return None
-    # Imported lazily: the cluster module builds on this one.
-    from repro.service.cluster import active_leases, read_worker_heartbeats, worker_is_alive
-
-    workers: Dict[str, Dict[str, object]] = {}
-    now = time.time()
-    for worker_id, heartbeat in read_worker_heartbeats(root).items():
-        updated = float(heartbeat.get("updated_at", now))
-        started = float(heartbeat.get("started_at", now))
-        uptime = max(1e-9, updated - started)
-        workers[worker_id] = {
-            "alive": worker_is_alive(heartbeat),
-            "heartbeat_age": max(0.0, now - float(heartbeat.get("updated_at", 0.0))),
-            "throughput_jobs_per_s": round(int(heartbeat.get("jobs_done", 0)) / uptime, 4),
-            "heartbeat": heartbeat,
-        }
-    return {"workers": workers, "leases": active_leases(root)}
-
-
 def service_status(root: Union[str, Path]) -> Dict[str, object]:
     """Snapshot of the whole service directory (daemon, jobs, store, cache).
 
@@ -542,47 +550,13 @@ def service_status(root: Union[str, Path]) -> Dict[str, object]:
     themselves).  On a cluster root, jobs claimed under leases are reported
     as ``running`` and a ``cluster`` section carries per-worker liveness,
     throughput and the active leases.
+
+    Thin wrapper over :class:`repro.obs.snapshot.ServiceSnapshot` — the one
+    typed structure behind ``status``, ``status --cluster`` and ``status
+    --json``; the returned dict shape is the snapshot's ``to_dict`` and is
+    unchanged from the pre-snapshot service layer.
     """
-    root = Path(root)
-    heartbeat: Optional[Dict[str, object]] = None
-    try:
-        heartbeat = json.loads((root / "service.json").read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        heartbeat = None
-    alive = False
-    heartbeat_age: Optional[float] = None
-    if heartbeat is not None:
-        heartbeat_age = max(0.0, time.time() - float(heartbeat.get("updated_at", 0.0)))
-        alive = heartbeat_is_fresh(heartbeat)
-    jobs = _load_jobs(root) if _jobs_dir(root).exists() else []
-    # A job caught in the release-crash window exists both as a terminal
-    # spool record and a stale lease; the spool record is authoritative, so
-    # leased records never shadow (or double-count) a spool id.
-    known = {job.job_id for job in jobs}
-    jobs += [job for job in _load_leased_jobs(root) if job.job_id not in known]
-    counts: Dict[str, int] = {}
-    cache_totals = {"hits": 0, "misses": 0, "store_hits": 0}
-    for job in jobs:
-        counts[job.status] = counts.get(job.status, 0) + 1
-        cache = (job.result or {}).get("cache") if isinstance(job.result, dict) else None
-        if isinstance(cache, dict):
-            for key in cache_totals:
-                cache_totals[key] += int(cache.get(key, 0))
-    # Plain directory stats, NOT ResultStore: opening the store can rewrite
-    # its metadata (and clear blobs on a version mismatch), and a status
-    # command from an older checkout must never touch a live daemon's cache.
-    store_info: Optional[Dict[str, object]] = None
-    if (root / "store").exists():
-        entries, total = blob_disk_usage(root / "store" / "blobs")
-        store_info = {"entries": entries, "bytes": total}
-    return {
-        "root": str(root),
-        "daemon": {"alive": alive, "heartbeat_age": heartbeat_age, "heartbeat": heartbeat},
-        "jobs": {"counts": counts, "records": [job.to_dict() for job in jobs]},
-        "cache_totals": cache_totals,
-        "store": store_info,
-        "cluster": _cluster_report(root),
-    }
+    return ServiceSnapshot.collect(root).to_dict()
 
 
 def _sweep_dead_workers(root: Path) -> int:
@@ -670,4 +644,6 @@ def gc_service(
             except OSError:
                 pass
     purged_workers = _sweep_dead_workers(root)
-    return {"evicted_blobs": evicted, "purged_jobs": purged, "purged_workers": purged_workers}
+    result = {"evicted_blobs": evicted, "purged_jobs": purged, "purged_workers": purged_workers}
+    event_log_for(root).emit("gc", **result)
+    return result

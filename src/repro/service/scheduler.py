@@ -23,6 +23,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import CacheStats
 from repro.engine.panels import Engine, PanelTask
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.service.queue import Job, JobQueue
 from repro.service.scenarios import FlowScenarioSpec, generate_scenario, scenario_spec
 
@@ -126,6 +128,13 @@ class Scheduler:
         Name recorded in each job's execution audit trail.  The daemon uses
         the default; cluster workers pass their worker id so the per-job
         ``executions`` entries say who ran what.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` of the owning
+        process; every finished execution lands in its ``solve.seconds``
+        histogram (plus batch/panel counters).
+    events:
+        Optional :class:`~repro.obs.events.EventLog` threaded through to
+        flow-scenario runners so stage materialisations are logged.
     """
 
     def __init__(
@@ -136,6 +145,8 @@ class Scheduler:
         on_batch: Optional[Callable[[Job], None]] = None,
         batch_size: Optional[int] = 8,
         worker_id: str = "local",
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -145,6 +156,8 @@ class Scheduler:
         self.on_batch = on_batch
         self.batch_size = batch_size
         self.worker_id = worker_id
+        self.metrics = metrics
+        self.events = events
 
     def run_once(self) -> Optional[Job]:
         """Claim and execute one job; returns it, or ``None`` when idle."""
@@ -181,6 +194,10 @@ class Scheduler:
         outcome = self._execute(job)
         outcome.runtime_seconds = time.perf_counter() - start
         outcome.cache = self.engine.cache_stats() - stats_before
+        if self.metrics is not None:
+            self.metrics.histogram("solve.seconds").observe(outcome.runtime_seconds)
+            self.metrics.counter("solve.batches").inc(outcome.batches)
+            self.metrics.counter("solve.panels").inc(outcome.panels)
         return outcome
 
     def _execute(self, job: Job) -> JobOutcome:
@@ -234,7 +251,9 @@ class Scheduler:
         context = build_context(circuit.grid, circuit.netlist, config, self.engine)
         layout_store = None if self.engine.cache is None else self.engine.cache.store
         artifact_store = layout_store if hasattr(layout_store, "get_artifact") else None
-        runner = FlowRunner(context, store=artifact_store)
+        runner = FlowRunner(
+            context, store=artifact_store, tracer=self.engine.tracer, events=self.events
+        )
         outcome = JobOutcome(flows={})
         for name in spec.flow_names():
             if self.on_batch is not None:

@@ -44,9 +44,11 @@ import itertools
 import json
 import os
 import threading
+import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.engine.signature import SIGNATURE_VERSION, STAGE_SIGNATURE_VERSION
 
@@ -55,6 +57,9 @@ FORMAT_VERSION = 1
 
 #: Name of the store metadata file at the root.
 _META_NAME = "store.json"
+
+#: Directory (under the store root) of per-session cumulative stats files.
+_STATS_DIR_NAME = "stats"
 
 Layout = Tuple[Optional[int], ...]
 
@@ -77,6 +82,24 @@ class StoreStats:
             evictions=self.evictions - other.evictions,
             corrupt_dropped=self.corrupt_dropped - other.corrupt_dropped,
         )
+
+    def __add__(self, other: "StoreStats") -> "StoreStats":
+        return StoreStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writes=self.writes + other.writes,
+            evictions=self.evictions + other.evictions,
+            corrupt_dropped=self.corrupt_dropped + other.corrupt_dropped,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
+        }
 
     def __str__(self) -> str:
         parts = f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
@@ -118,6 +141,38 @@ def blob_disk_usage(blobs_dir: Path) -> Tuple[int, int]:
             continue
         entries += 1
     return entries, total
+
+
+def read_cumulative_store_stats(store_root: Union[str, Path]) -> StoreStats:
+    """Sum the per-session stats files under a store root — pure reads.
+
+    Module-level so ``repro metrics`` can report a store's lifetime traffic
+    without constructing a :class:`ResultStore` (opening one rewrites
+    metadata and clears blobs on a version mismatch, which a read-only
+    command must never do to a live daemon's cache).  Unreadable or
+    malformed session files are skipped, never raised.
+    """
+    total = StoreStats()
+    stats_dir = Path(store_root) / _STATS_DIR_NAME
+    for path in sorted(stats_dir.glob("*.json")) if stats_dir.exists() else []:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        counters = payload.get("stats") if isinstance(payload, dict) else None
+        if not isinstance(counters, dict):
+            continue
+        try:
+            total = total + StoreStats(
+                hits=int(counters.get("hits", 0)),
+                misses=int(counters.get("misses", 0)),
+                writes=int(counters.get("writes", 0)),
+                evictions=int(counters.get("evictions", 0)),
+                corrupt_dropped=int(counters.get("corrupt_dropped", 0)),
+            )
+        except (TypeError, ValueError):
+            continue
+    return total
 
 
 def scan_blobs(blobs_dir: Path) -> Tuple[List[Tuple[int, Path, int]], int]:
@@ -215,6 +270,9 @@ class ResultStore:
         self._writes = 0
         self._evictions = 0
         self._corrupt = 0
+        # One stats session per store instance: the uuid keeps two instances
+        # of one pid (tests, daemon restarts in-process) from sharing a file.
+        self._session = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         self._open()
         # Running size estimate so capped writes stay O(1): scanned once at
         # open, bumped per write, resynced to exact by every gc() pass.
@@ -470,6 +528,37 @@ class ResultStore:
                 evictions=self._evictions,
                 corrupt_dropped=self._corrupt,
             )
+
+    def persist_stats(self) -> None:
+        """Flush this session's counters to ``stats/<session>.json`` (atomic).
+
+        Each store instance owns one session file and rewrites it in place,
+        so the N daemons and workers sharing a store each persist their own
+        traffic and :func:`read_cumulative_store_stats` can sum lifetime
+        totals across processes — including ones that have since exited.
+        The service layer calls this on forced heartbeats (job completions
+        and shutdown), so an idle process never touches the directory.
+        """
+        stats_dir = self.root / _STATS_DIR_NAME
+        stats_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "session": self._session,
+            "updated_at": time.time(),
+            "stats": self.stats().to_dict(),
+        }
+        atomic_write_text(
+            stats_dir / f"{self._session}.json", json.dumps(payload, indent=2) + "\n"
+        )
+
+    def cumulative_stats(self) -> StoreStats:
+        """Lifetime counters summed over every session of this store.
+
+        Persists this session's counters first, so the total includes live
+        not-yet-flushed traffic alongside what previous processes left in
+        ``stats/``.
+        """
+        self.persist_stats()
+        return read_cumulative_store_stats(self.root)
 
     def __repr__(self) -> str:
         return f"ResultStore(root={str(self.root)!r}, entries={len(self)}, stats={self.stats()})"
