@@ -93,6 +93,7 @@ from repro.obs.events import follow_events, format_event, iter_events, read_even
 from repro.obs.metrics import format_metrics, merge_snapshots
 from repro.obs.trace import Tracer
 from repro.service import (
+    MAX_SHARDS,
     ClusterConfig,
     ClusterSupervisor,
     ClusterWorker,
@@ -294,11 +295,21 @@ def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument(
         "--poll", type=_positive_float, default=0.5, metavar="SECONDS", help="spool poll interval"
     )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="split the spool into N hash-keyed shards (migrating the root "
+        "in place if needed); workers drain their home shard first and "
+        "steal from the others when idle (default: keep the root's layout)",
+    )
     # Internal: how the supervisor runs each fleet member.  Operators use
     # `--workers K`; these exist so a worker process is just another
     # `repro serve` invocation.
     parser.add_argument("--cluster-worker", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--worker-label", default="worker", help=argparse.SUPPRESS)
+    parser.add_argument("--home-shard", type=int, default=None, help=argparse.SUPPRESS)
     parser.add_argument(
         "--store-max-mb",
         type=_positive_float,
@@ -417,6 +428,12 @@ def _add_events_parser(subparsers: argparse._SubParsersAction) -> None:
     )
     parser.add_argument(
         "--job", default=None, metavar="ID", help="only events touching one job id"
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="sNN",
+        help="only events tagged with one spool shard (sharded roots)",
     )
     parser.add_argument(
         "--json", action="store_true", help="one raw JSON record per line (JSONL)"
@@ -678,6 +695,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 poll_interval=args.poll,
                 lease_ttl=args.lease_ttl,
                 store_max_bytes=_mb_to_bytes(args.store_max_mb),
+                home_shard=args.home_shard,
             )
         )
         print(f"worker {worker.identity.worker_id} serving {args.root}", flush=True)
@@ -697,6 +715,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 poll_interval=args.poll,
                 lease_ttl=args.lease_ttl,
                 store_max_bytes=_mb_to_bytes(args.store_max_mb),
+                shards=args.shards,
             )
         )
         print(
@@ -716,6 +735,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         workers=args.backend_workers,
         poll_interval=args.poll,
         store_max_bytes=_mb_to_bytes(args.store_max_mb),
+        shards=args.shards,
     )
     daemon = ServiceDaemon(config)
     print(f"serving {args.root} [backend={args.backend}]", flush=True)
@@ -861,11 +881,17 @@ def _render_cluster(cluster: Optional[Dict[str, object]]) -> str:
             f"reclaimed={heartbeat.get('jobs_reclaimed', 0)} "
             f"throughput={info.get('throughput_jobs_per_s', 0.0):.2f} jobs/s lease={lease}"
         )
+    for shard_name, depth in sorted((cluster.get("shards") or {}).items()):
+        lines.append(
+            f"  shard {shard_name}: queued={depth.get('queued', 0)} "
+            f"leased={depth.get('leased', 0)}"
+        )
     for lease in cluster.get("leases") or []:
         expires = lease.get("expires_in")
         expiry_note = f", expires in {expires:.1f}s" if expires is not None else ""
+        shard_note = f" in {lease['shard']}" if lease.get("shard") else ""
         lines.append(
-            f"  lease: {lease['job_id']} held by {lease['worker_id']} "
+            f"  lease: {lease['job_id']} held by {lease['worker_id']}{shard_note} "
             f"(age {lease['age_seconds']:.1f}s{expiry_note})"
         )
     return "\n".join(lines)
@@ -891,11 +917,13 @@ def _run_events(args: argparse.Namespace) -> int:
             for record in follow_events(args.root):
                 if args.job is not None and record.get("job") != args.job:
                     continue
+                if args.shard is not None and record.get("shard") != args.shard:
+                    continue
                 print(render(record), flush=True)
         except KeyboardInterrupt:
             pass
         return 0
-    records = read_events(args.root, job_id=args.job, tail=args.tail)
+    records = read_events(args.root, job_id=args.job, shard=args.shard, tail=args.tail)
     for record in records:
         print(render(record))
     if not records and not args.json:
@@ -960,6 +988,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # each worker is --backend-workers and needs a parallel backend.
         if args.backend_workers is not None and args.backend == "serial":
             parser.error("--backend-workers requires a parallel backend (thread|process)")
+        if args.shards is not None and args.shards > MAX_SHARDS:
+            parser.error(f"--shards must be at most {MAX_SHARDS}")
+        if args.home_shard is not None and args.home_shard < 0:
+            parser.error("--home-shard must be non-negative")
     elif getattr(args, "workers", None) is not None and args.backend == "serial":
         parser.error("--workers requires a parallel backend (--backend thread|process)")
     if getattr(args, "store", None) is not None and getattr(args, "no_cache", False):

@@ -217,11 +217,14 @@ def iter_events(
     root: Union[str, Path],
     job_id: Optional[str] = None,
     event: Optional[str] = None,
+    shard: Optional[str] = None,
 ) -> Iterator[Event]:
     """Every readable event of a root, oldest first, optionally filtered.
 
     ``job_id`` keeps only records whose ``job`` field matches; ``event``
-    keeps only records of one event type.  Unreadable lines are skipped.
+    keeps only records of one event type; ``shard`` keeps only records
+    tagged with one spool shard (``s00``…, emitted on sharded roots).
+    Unreadable lines are skipped.
     """
     for path in _segment_paths(events_dir(root)):
         try:
@@ -236,6 +239,8 @@ def iter_events(
                 continue
             if event is not None and record.get("event") != event:
                 continue
+            if shard is not None and record.get("shard") != shard:
+                continue
             yield record
 
 
@@ -243,10 +248,11 @@ def read_events(
     root: Union[str, Path],
     job_id: Optional[str] = None,
     event: Optional[str] = None,
+    shard: Optional[str] = None,
     tail: Optional[int] = None,
 ) -> List[Event]:
     """Events of a root as a list; ``tail=N`` keeps only the newest N."""
-    records = list(iter_events(root, job_id=job_id, event=event))
+    records = list(iter_events(root, job_id=job_id, event=event, shard=shard))
     if tail is not None and tail >= 0:
         records = records[len(records) - min(tail, len(records)) :]
     return records

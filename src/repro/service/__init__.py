@@ -21,7 +21,11 @@ backends) builds on:
 * :mod:`repro.service.cluster` — the multi-worker layer on the same spool:
   atomic lease-based claiming, per-worker heartbeats, crash reclaim, the
   ``repro serve --workers K`` local fleet supervisor and the
-  ``repro loadgen`` burst harness.
+  ``repro loadgen`` burst harness;
+* :mod:`repro.service.sharding` — the spool partitioning layer under both:
+  :class:`SpoolLayout` maps job ids to hash-keyed shards (``--shards N``),
+  with an in-place flat↔sharded migration and the work-stealing scan order
+  cluster workers drain it in.
 
 Every lifecycle transition in this layer (submit, claim, release, reclaim,
 cancel, gc, worker start/stop) is also appended to the root's event log
@@ -63,6 +67,16 @@ from repro.service.scenarios import (
     scenario_spec,
 )
 from repro.service.scheduler import JobOutcome, Scheduler, batch_compatible
+from repro.service.sharding import (
+    MAX_SHARDS,
+    SHARD_LAYOUT_VERSION,
+    SpoolLayout,
+    adopt_stray_records,
+    ensure_layout,
+    migrate_layout,
+    read_layout,
+    shard_index,
+)
 from repro.service.store import ResultStore, StoreStats, read_cumulative_store_stats
 
 __all__ = [
@@ -91,6 +105,14 @@ __all__ = [
     "register_scenario",
     "scenario_kind",
     "scenario_spec",
+    "MAX_SHARDS",
+    "SHARD_LAYOUT_VERSION",
+    "SpoolLayout",
+    "shard_index",
+    "read_layout",
+    "ensure_layout",
+    "migrate_layout",
+    "adopt_stray_records",
     "ServiceConfig",
     "ServiceDaemon",
     "submit_job",

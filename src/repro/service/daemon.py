@@ -9,6 +9,13 @@ One directory is the whole service state, so ``repro submit`` / ``status`` /
         jobs/<job_id>.json    # one Job record each (atomic writes)
         jobs/<job_id>.cancel  # cancellation marker dropped by `repro cancel`
 
+On a sharded root (``repro serve --shards N``, see
+:mod:`repro.service.sharding`) the spool splits into hash-assigned shard
+directories — ``jobs/s00/<job_id>.json`` etc., recorded by a
+``shards.json`` marker — and all spool paths below go through the root's
+:class:`~repro.service.sharding.SpoolLayout`.  A flat root is simply the
+1-shard layout.
+
 Submitters drop ``queued`` job records into ``jobs/``; the daemon polls the
 spool, feeds new records into its in-memory :class:`JobQueue`, lets the
 :class:`Scheduler` execute them through an engine whose cache is backed by
@@ -41,6 +48,13 @@ from repro.obs.snapshot import ServiceSnapshot
 from repro.service.queue import Job, JobQueue
 from repro.service.scenarios import scenario_spec
 from repro.service.scheduler import Scheduler
+from repro.service.sharding import (
+    MAX_SHARDS,
+    SpoolLayout,
+    adopt_stray_records,
+    ensure_layout,
+    read_layout,
+)
 from repro.service.store import ResultStore, atomic_write_text, evict_lru_blobs
 
 #: Heartbeats older than this are reported as a dead/stale daemon.
@@ -62,15 +76,8 @@ def heartbeat_is_fresh(heartbeat: Dict[str, object]) -> bool:
 
 
 def _jobs_dir(root: Path) -> Path:
+    """Base spool directory (shard subdirectories live under it when sharded)."""
     return root / "jobs"
-
-
-def _job_path(root: Path, job_id: str) -> Path:
-    return _jobs_dir(root) / f"{job_id}.json"
-
-
-def _cancel_path(root: Path, job_id: str) -> Path:
-    return _jobs_dir(root) / f"{job_id}.cancel"
 
 
 def _round_latency(latency: Optional[float]) -> Optional[float]:
@@ -78,13 +85,22 @@ def _round_latency(latency: Optional[float]) -> Optional[float]:
     return None if latency is None else round(latency, 6)
 
 
-def _write_job(root: Path, job: Job) -> None:
-    atomic_write_text(_job_path(root, job.job_id), json.dumps(job.to_dict(), indent=2) + "\n")
+def _write_job(layout: SpoolLayout, job: Job) -> None:
+    atomic_write_text(layout.job_path(job.job_id), json.dumps(job.to_dict(), indent=2) + "\n")
+
+
+def _spool_record_paths(layout: SpoolLayout, pattern: str = "*.json") -> List[Path]:
+    """Matching spool files across every shard, sorted by file name."""
+    paths: List[Path] = []
+    for directory in layout.jobs_dirs():
+        if directory.exists():
+            paths.extend(directory.glob(pattern))
+    return sorted(paths, key=lambda path: path.name)
 
 
 def _load_jobs(root: Path) -> List[Job]:
     jobs = []
-    for path in sorted(_jobs_dir(root).glob("*.json")):
+    for path in _spool_record_paths(read_layout(root)):
         try:
             jobs.append(Job.from_dict(json.loads(path.read_text(encoding="utf-8"))))
         except (OSError, json.JSONDecodeError, KeyError, ValueError):
@@ -106,6 +122,9 @@ class ServiceConfig:
         Seconds between spool scans while idle.
     store_max_bytes:
         LRU size cap of the persistent result store (``None`` = uncapped).
+    shards:
+        Spool shard count to (migrate to and) serve; ``None`` keeps the
+        root's recorded layout (flat when no marker exists).
     """
 
     root: Union[str, Path]
@@ -113,10 +132,13 @@ class ServiceConfig:
     workers: Optional[int] = None
     poll_interval: float = 0.5
     store_max_bytes: Optional[int] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
             raise ValueError(f"poll_interval must be positive, got {self.poll_interval}")
+        if self.shards is not None and not 1 <= self.shards <= MAX_SHARDS:
+            raise ValueError(f"shards must be in 1..{MAX_SHARDS}, got {self.shards}")
         self.root = Path(self.root)
 
 
@@ -126,7 +148,7 @@ class ServiceDaemon:
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         root = Path(config.root)
-        _jobs_dir(root).mkdir(parents=True, exist_ok=True)
+        self.layout = ensure_layout(root, config.shards)
         self.events = EventLog(root, writer=f"daemon-{os.getpid()}-{uuid.uuid4().hex[:6]}")
         self.metrics = MetricsRegistry()
         self.store = ResultStore(root / "store", max_bytes=config.store_max_bytes)
@@ -175,7 +197,7 @@ class ServiceDaemon:
     def _mark_spool_done(self, job_id: str) -> None:
         """Remember a terminal record by id + current mtime."""
         try:
-            self._spool_done[job_id] = _job_path(Path(self.config.root), job_id).stat().st_mtime_ns
+            self._spool_done[job_id] = self.layout.job_path(job_id).stat().st_mtime_ns
         except OSError:
             self._spool_done.pop(job_id, None)
 
@@ -195,9 +217,9 @@ class ServiceDaemon:
         daemon's heartbeat is fresh: a steady-state daemon treats foreign
         running records as owned elsewhere rather than stealing them.
         """
-        root = Path(self.config.root)
         picked_up = 0
-        records = sorted(_jobs_dir(root).glob("*.json"))
+        adopt_stray_records(self.layout)
+        records = _spool_record_paths(self.layout)
         # Forget remembered records whose file was purged, both to bound the
         # dict in a serve-forever daemon and so a later reuse of the job id
         # is treated as the brand-new submission it is.
@@ -238,7 +260,7 @@ class ServiceDaemon:
                     job.error = job.error or (
                         f"daemon died during attempt {job.attempts}/{job.max_attempts}"
                     )
-                    _write_job(root, job)
+                    _write_job(self.layout, job)
                     self._mark_spool_done(job_id)
                     self.jobs_failed += 1
                     self._finished_outside += 1
@@ -246,10 +268,10 @@ class ServiceDaemon:
                     continue
                 job.status = "queued"
             self.queue.submit(job)
-            _write_job(root, job)
+            _write_job(self.layout, job)
             picked_up += 1
         self._recover_running = False  # startup scan is over
-        for marker in _jobs_dir(root).glob("*.cancel"):
+        for marker in _spool_record_paths(self.layout, "*.cancel"):
             self._consume_cancel_marker(marker)
         return picked_up
 
@@ -263,11 +285,10 @@ class ServiceDaemon:
         for the next poll; only markers for finished or purged jobs are
         removed as no-ops.
         """
-        root = Path(self.config.root)
         job_id = marker.stem
         job = self.queue.get(job_id)
         if job is None:
-            if job_id not in self._spool_done and _job_path(root, job_id).exists():
+            if job_id not in self._spool_done and self.layout.job_path(job_id).exists():
                 return  # record lands in the queue next poll; keep the marker
         elif self.queue.cancel(job_id):
             job = self.queue.get(job_id)
@@ -275,7 +296,7 @@ class ServiceDaemon:
                 # Persist immediately — terminal status for queued jobs, the
                 # raised cancel_requested flag for running ones — so the
                 # cancel survives a daemon crash before the job finishes.
-                _write_job(root, job)
+                _write_job(self.layout, job)
                 if job.is_terminal:  # cancelled before it was ever claimed
                     self._mark_spool_done(job_id)
                     self.jobs_cancelled += 1
@@ -296,9 +317,13 @@ class ServiceDaemon:
         its incremented attempt count, which the next daemon re-queues —
         and eventually fails — instead of restarting from zero forever.
         """
-        _write_job(Path(self.config.root), job)
+        _write_job(self.layout, job)
         self.events.emit(
-            "claimed", job=job.job_id, worker=self.scheduler.worker_id, attempt=job.attempts
+            "claimed",
+            job=job.job_id,
+            worker=self.scheduler.worker_id,
+            attempt=job.attempts,
+            shard=self.layout.shard_tag(job.job_id),
         )
 
     def _on_batch(self, job: Job) -> None:
@@ -307,7 +332,7 @@ class ServiceDaemon:
         Without this, a single long job would make the daemon deaf to
         ``repro cancel`` and let its heartbeat go stale mid-execution.
         """
-        marker = _cancel_path(Path(self.config.root), job.job_id)
+        marker = self.layout.cancel_path(job.job_id)
         if marker.exists():
             self._consume_cancel_marker(marker)
         self._heartbeat()
@@ -374,7 +399,7 @@ class ServiceDaemon:
                 self.jobs_failed += 1
             elif job.status == "cancelled":
                 self.jobs_cancelled += 1
-            _write_job(Path(self.config.root), job)
+            _write_job(self.layout, job)
             if job.is_terminal:
                 self._mark_spool_done(job.job_id)
             self.events.emit(
@@ -455,7 +480,7 @@ def submit_job(
     params = dict(params or {})
     scenario_spec(scenario).with_params(params)  # fail fast, before anything is written
     root = Path(root)
-    _jobs_dir(root).mkdir(parents=True, exist_ok=True)
+    layout = read_layout(root)
     job = Job(
         job_id=job_id or f"{scenario}-{uuid.uuid4().hex[:8]}",
         scenario=scenario,
@@ -463,10 +488,18 @@ def submit_job(
         priority=priority,
         max_attempts=max_attempts,
     )
-    if _job_path(root, job.job_id).exists():
+    record = layout.job_path(job.job_id)
+    record.parent.mkdir(parents=True, exist_ok=True)
+    if record.exists():
         raise ValueError(f"job id {job.job_id!r} already exists in {root}")
-    _write_job(root, job)
-    event_log_for(root).emit("submitted", job=job.job_id, scenario=scenario, priority=priority)
+    _write_job(layout, job)
+    event_log_for(root).emit(
+        "submitted",
+        job=job.job_id,
+        scenario=scenario,
+        priority=priority,
+        shard=layout.shard_tag(job.job_id),
+    )
     return job
 
 
@@ -482,20 +515,23 @@ def request_cancel(root: Union[str, Path], job_id: str) -> bool:
     boundary.
     """
     root = Path(root)
-    path = _job_path(root, job_id)
+    layout = read_layout(root)
+    path = layout.job_path(job_id)
     try:
         job = Job.from_dict(json.loads(path.read_text(encoding="utf-8")))
     except FileNotFoundError:
         # Claimed by a cluster worker?  The record then lives in a lease.
-        if not any((root / "leases").glob(f"*/{job_id}.json")):
+        if not layout.lease_files(job_id):
             return False
         job = None
     except (OSError, json.JSONDecodeError, KeyError, ValueError):
         job = None
     if job is not None and job.is_terminal:
         return False
-    atomic_write_text(_cancel_path(root, job_id), "")
-    event_log_for(root).emit("cancel-requested", job=job_id)
+    marker = layout.cancel_path(job_id)
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(marker, "")
+    event_log_for(root).emit("cancel-requested", job=job_id, shard=layout.shard_tag(job_id))
     return True
 
 
@@ -508,10 +544,12 @@ def wait_for_job(
     last observed state is attached to the message).
     """
     root = Path(root)
-    path = _job_path(root, job_id)
     deadline = time.monotonic() + timeout
     job: Optional[Job] = None
     while True:
+        # Re-resolve the layout each poll: a `serve --shards N` migration
+        # may legitimately move the record mid-wait.
+        path = read_layout(root).job_path(job_id)
         try:
             job = Job.from_dict(json.loads(path.read_text(encoding="utf-8")))
         except (OSError, json.JSONDecodeError, KeyError, ValueError):
@@ -531,8 +569,7 @@ def wait_for_job(
 def _load_leased_jobs(root: Path) -> List[Job]:
     """Jobs currently held under cluster worker leases (all ``running``)."""
     jobs: List[Job] = []
-    leases = root / "leases"
-    for path in sorted(leases.glob("*/*.json")) if leases.exists() else []:
+    for path, _worker_id, _shard in read_layout(root).iter_lease_files():
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
             record = payload.get("job", payload) if isinstance(payload, dict) else None
@@ -573,6 +610,7 @@ def _sweep_dead_workers(root: Path) -> int:
     from repro.service.cluster import worker_is_alive
 
     removed = 0
+    layout = read_layout(root)
     workers_dir = root / "workers"
     for heartbeat_path in sorted(workers_dir.glob("*.json")) if workers_dir.exists() else []:
         try:
@@ -581,12 +619,20 @@ def _sweep_dead_workers(root: Path) -> int:
             continue
         if not isinstance(heartbeat, dict) or worker_is_alive(heartbeat):
             continue
-        lease_dir = root / "leases" / heartbeat_path.stem
-        if lease_dir.exists():
+        # A worker holds one lease directory per shard; the heartbeat may
+        # only go once every one of them is empty (or already gone) — a
+        # pending lease in *any* shard still needs the owner's staleness.
+        blocked = False
+        for lease_dir in layout.worker_lease_dirs(heartbeat_path.stem):
+            if not lease_dir.exists():
+                continue
             try:
                 lease_dir.rmdir()  # only ever removes an *empty* directory
             except OSError:
-                continue  # stale leases pending reclaim; keep the heartbeat
+                blocked = True
+                break  # stale leases pending reclaim; keep the heartbeat
+        if blocked:
+            continue
         try:
             heartbeat_path.unlink()
             removed += 1
@@ -616,6 +662,7 @@ def gc_service(
     live daemon's cache.
     """
     root = Path(root)
+    layout = read_layout(root)
     evicted = 0
     if max_bytes is not None and (root / "store").exists():
         evicted, _total = evict_lru_blobs(root / "store" / "blobs", max_bytes)
@@ -624,20 +671,21 @@ def gc_service(
         for job in _load_jobs(root):
             if job.is_terminal:
                 try:
-                    _job_path(root, job.job_id).unlink()
+                    layout.job_path(job.job_id).unlink()
                     purged += 1
                 except OSError:
                     pass
         # Orphaned cancel markers (their job finished before the cancel was
         # seen, or was purged above) would instantly cancel a future
-        # resubmission reusing the id; sweep them with the records.  A
+        # resubmission reusing the id; sweep them with the records — across
+        # *every* shard, since a marker lives beside its job's record.  A
         # marker whose job is claimed under a cluster lease is *pending*,
         # not orphaned — the leaseholder honours it at its next batch
         # boundary, so it must survive the sweep.
-        for marker in _jobs_dir(root).glob("*.cancel"):
-            if _job_path(root, marker.stem).exists():
+        for marker in _spool_record_paths(layout, "*.cancel"):
+            if layout.job_path(marker.stem).exists():
                 continue
-            if any((root / "leases").glob(f"*/{marker.stem}.json")):
+            if layout.lease_files(marker.stem):
                 continue
             try:
                 marker.unlink()

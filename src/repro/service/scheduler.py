@@ -178,7 +178,7 @@ class Scheduler:
         job.finish_execution()
         return job
 
-    def execute_job(self, job: Job) -> JobOutcome:
+    def execute_job(self, job: Job, shard: Optional[str] = None) -> JobOutcome:
         """Execute one already-claimed (``running``) job; raises on failure.
 
         The claim itself — popping the queue, or winning a cluster lease
@@ -188,6 +188,11 @@ class Scheduler:
         recorded on the returned outcome.  Callers own the status
         transition (finish / fail / requeue) since it differs between the
         in-memory queue and the cluster spool.
+
+        ``shard`` is the spool shard the job was claimed from on a sharded
+        root; it feeds the per-shard throughput counters that ``repro
+        metrics`` aggregates into the fleet view (flat roots pass ``None``
+        and record nothing extra).
         """
         start = time.perf_counter()
         stats_before = self.engine.cache_stats()
@@ -198,6 +203,8 @@ class Scheduler:
             self.metrics.histogram("solve.seconds").observe(outcome.runtime_seconds)
             self.metrics.counter("solve.batches").inc(outcome.batches)
             self.metrics.counter("solve.panels").inc(outcome.panels)
+            if shard is not None:
+                self.metrics.counter(f"shard.{shard}.jobs").inc()
         return outcome
 
     def _execute(self, job: Job) -> JobOutcome:

@@ -28,7 +28,10 @@ with the signature scheme version it was hashed under.  Durability rules:
   under another scheme can never be looked up again, so stale blobs are dead
   weight, and a cache may always be rebuilt from nothing.
 * **LRU eviction** — blob mtimes are refreshed on every hit; when the store
-  exceeds ``max_bytes`` the oldest blobs are evicted until it fits.
+  exceeds ``max_bytes`` the oldest blobs are evicted until it fits.  A
+  capped store keeps a per-prefix-bucket byte account (seeded once at open,
+  bumped per write), so its gc stats only the buckets eviction may actually
+  touch — largest first — instead of re-walking the whole blob tree.
 
 Multiple processes may share one store: writes are atomic renames, reads
 tolerate concurrent eviction, content-addressing makes double-writes of the
@@ -125,6 +128,19 @@ def atomic_write_text(path: Path, text: str) -> None:
     os.replace(tmp, path)
 
 
+def bucket_disk_usage(bucket_dir: Path) -> Tuple[int, int]:
+    """(entry count, total bytes) of one prefix bucket (``blobs/<sig[:2]>/``)."""
+    entries = 0
+    total = 0
+    for path in bucket_dir.glob("*.json") if bucket_dir.exists() else ():
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+        entries += 1
+    return entries, total
+
+
 def blob_disk_usage(blobs_dir: Path) -> Tuple[int, int]:
     """(entry count, total bytes) under a blobs directory, one unsorted walk.
 
@@ -175,6 +191,24 @@ def read_cumulative_store_stats(store_root: Union[str, Path]) -> StoreStats:
     return total
 
 
+def scan_bucket_blobs(bucket_dir: Path) -> Tuple[List[Tuple[int, Path, int]], int]:
+    """Snapshot one prefix bucket — the same shape as :func:`scan_blobs`.
+
+    The unit a capped store's gc works in: it stats the buckets its
+    accounting says are worth evicting from and leaves the rest untouched.
+    """
+    entries: List[Tuple[int, Path, int]] = []
+    total = 0
+    for path in sorted(bucket_dir.glob("*.json")) if bucket_dir.exists() else []:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime_ns, path, stat.st_size))
+        total += stat.st_size
+    return entries, total
+
+
 def scan_blobs(blobs_dir: Path) -> Tuple[List[Tuple[int, Path, int]], int]:
     """Snapshot ``(mtime_ns, path, size)`` of every blob plus the byte total.
 
@@ -183,13 +217,12 @@ def scan_blobs(blobs_dir: Path) -> Tuple[List[Tuple[int, Path, int]], int]:
     """
     entries: List[Tuple[int, Path, int]] = []
     total = 0
-    for path in sorted(blobs_dir.glob("*/*.json")) if blobs_dir.exists() else []:
-        try:
-            stat = path.stat()
-        except OSError:
+    for bucket in sorted(blobs_dir.iterdir()) if blobs_dir.exists() else []:
+        if not bucket.is_dir():
             continue
-        entries.append((stat.st_mtime_ns, path, stat.st_size))
-        total += stat.st_size
+        bucket_entries, bucket_total = scan_bucket_blobs(bucket)
+        entries.extend(bucket_entries)
+        total += bucket_total
     return entries, total
 
 
@@ -275,7 +308,13 @@ class ResultStore:
         self._session = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         self._open()
         # Running size estimate so capped writes stay O(1): scanned once at
-        # open, bumped per write, resynced to exact by every gc() pass.
+        # open, bumped per write, resynced to exact by every gc() pass.  On
+        # capped stores the estimate is kept *per prefix bucket*, so gc can
+        # stat only the buckets worth evicting from.  Drift (corrupt drops,
+        # concurrent evictors, same-signature rewrites) always leaves the
+        # account an over-estimate, which at worst triggers gc early — the
+        # safe direction — and each gc/disk_usage pass resyncs it to exact.
+        self._bucket_bytes: Optional[Dict[str, int]] = {} if max_bytes is not None else None
         self._approx_bytes = self.total_bytes() if max_bytes is not None else 0
 
     # -- lifecycle ----------------------------------------------------------------
@@ -456,6 +495,9 @@ class ResultStore:
         with self._lock:
             self._writes += 1
             self._approx_bytes += len(text)
+            if self._bucket_bytes is not None:
+                bucket = signature[:2]
+                self._bucket_bytes[bucket] = self._bucket_bytes.get(bucket, 0) + len(text)
             over_cap = self.max_bytes is not None and self._approx_bytes > self.max_bytes
         if over_cap:
             self.gc(self.max_bytes)
@@ -490,22 +532,103 @@ class ResultStore:
 
         The daemon heartbeat reports both every cycle; computing them
         together halves the I/O of the separate ``len`` / ``total_bytes``
-        calls on large stores.
+        calls on large stores.  On a capped store the walk doubles as a
+        full resync of the per-bucket byte account, so estimate drift
+        never outlives one heartbeat cycle.
         """
-        return blob_disk_usage(self.root / "blobs")
+        blobs = self.root / "blobs"
+        if self._bucket_bytes is None:
+            return blob_disk_usage(blobs)
+        entries = 0
+        sizes: Dict[str, int] = {}
+        for bucket in sorted(blobs.iterdir()) if blobs.exists() else []:
+            if not bucket.is_dir():
+                continue
+            count, size = bucket_disk_usage(bucket)
+            entries += count
+            if size:
+                sizes[bucket.name] = size
+        total = sum(sizes.values())
+        with self._lock:
+            self._bucket_bytes = sizes
+            self._approx_bytes = total
+        return entries, total
 
     def gc(self, max_bytes: Optional[int] = None) -> int:
         """Evict least-recently-used blobs until the store fits ``max_bytes``.
 
         Returns the number of blobs evicted.  ``max_bytes=None`` uses the
         store's configured cap and is a no-op when the store is uncapped.
+
+        A capped store gc's through its per-bucket byte account and stats
+        only the buckets eviction may touch; an uncapped store (gc'd with
+        an explicit cap) has no account to consult and falls back to the
+        full-tree scan, which also keeps its eviction order exactly
+        global-LRU as it always was.
         """
         cap = self.max_bytes if max_bytes is None else max_bytes
         if cap is None:
             return 0
+        if self._bucket_bytes is not None:
+            return self._gc_buckets(cap)
         evicted, total = evict_lru_blobs(self.root / "blobs", cap)
         with self._lock:
             self._approx_bytes = total  # resync the estimate to exact
+            if evicted:
+                self._evictions += evicted
+        return evicted
+
+    def _gc_buckets(self, cap: int) -> int:
+        """Bucket-aware eviction: stat only the buckets eviction may touch.
+
+        Buckets are visited largest-accounted-first; scanning stops as soon
+        as the *unscanned* buckets' accounted bytes fit under the cap,
+        because only scanned buckets can be evicted from — on a store of B
+        buckets just over its cap, that is one or two bucket stats instead
+        of the whole tree.  Eviction itself is LRU across the scanned set
+        with the usual multi-writer guard, and every scanned bucket's
+        account is resynced to exact afterwards, so drift never accumulates
+        past one gc pass.  The trade against the flat path is that an old
+        blob in a small (unscanned) bucket can outlive a newer blob in a
+        scanned one — approximate LRU, bounded by one bucket's span.
+        """
+        with self._lock:
+            accounted = dict(self._bucket_bytes or {})
+        if sum(accounted.values()) <= cap:
+            return 0
+        blobs = self.root / "blobs"
+        unscanned = sum(accounted.values())
+        scanned_names: List[str] = []
+        scanned_sizes: Dict[str, int] = {}
+        entries: List[Tuple[int, Path, int]] = []
+        scanned_total = 0
+        for name in sorted(accounted, key=lambda bucket: (-accounted[bucket], bucket)):
+            if unscanned + scanned_total <= cap or unscanned <= cap:
+                break
+            bucket_entries, bucket_total = scan_bucket_blobs(blobs / name)
+            unscanned -= accounted[name]
+            scanned_total += bucket_total
+            entries.extend(bucket_entries)
+            scanned_names.append(name)
+            scanned_sizes[name] = bucket_total
+        evicted = 0
+        if unscanned + scanned_total > cap:
+            evicted, _remaining = evict_scanned_blobs(
+                entries, scanned_total, max(0, cap - unscanned)
+            )
+        if evicted:
+            # Re-stat just the evicted-from buckets for exact per-bucket
+            # remainders (evict_scanned_blobs reports only the aggregate).
+            for name in scanned_names:
+                _count, scanned_sizes[name] = bucket_disk_usage(blobs / name)
+        with self._lock:
+            if self._bucket_bytes is not None:
+                for name in scanned_names:
+                    if scanned_sizes[name]:
+                        self._bucket_bytes[name] = scanned_sizes[name]
+                    else:
+                        self._bucket_bytes.pop(name, None)
+                self._approx_bytes = sum(self._bucket_bytes.values())
             if evicted:
                 self._evictions += evicted
         return evicted
@@ -516,6 +639,8 @@ class ResultStore:
         with self._lock:
             self._evictions += removed
             self._approx_bytes = 0
+            if self._bucket_bytes is not None:
+                self._bucket_bytes = {}
         return removed
 
     def stats(self) -> StoreStats:
