@@ -54,6 +54,11 @@ setup(
         "dev": [
             "ruff",
         ],
+        # The `repro watch` dashboard only; the core package stays
+        # dependency-light and never imports textual at module scope.
+        "tui": [
+            "textual",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -56,7 +56,14 @@ tails it and ``metrics`` aggregates the fleet's snapshots (see DESIGN.md
     python -m repro.cli events  --root svc --tail 20
     python -m repro.cli events  --root svc --job JOB_ID --json
     python -m repro.cli metrics --root svc
+    python -m repro.cli status  --root svc --health
     python -m repro.cli flows   --run gsino --trace
+
+``watch`` (with the ``[tui]`` extra installed) opens a live terminal
+dashboard over the same data — worker liveness, per-shard queue depth and
+throughput, an event tail, and keyboard cancel/requeue::
+
+    python -m repro.cli watch --root svc
 """
 
 from __future__ import annotations
@@ -90,7 +97,8 @@ from repro.flow.runner import FlowRunner, StageExecution
 from repro.gsino.config import GsinoConfig
 from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
 from repro.obs.events import follow_events, format_event, iter_events, read_events
-from repro.obs.metrics import format_metrics, merge_snapshots
+from repro.obs.health import collect_fleet_health, format_health
+from repro.obs.metrics import fleet_metrics_from_events, format_metrics
 from repro.obs.trace import Tracer
 from repro.service import (
     MAX_SHARDS,
@@ -372,6 +380,11 @@ def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
         action="store_true",
         help="include per-worker liveness, leases and throughput",
     )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="include typed per-worker / per-shard health verdicts",
+    )
 
 
 def _add_loadgen_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -427,6 +440,13 @@ def _add_events_parser(subparsers: argparse._SubParsersAction) -> None:
         help="keep printing new events as they are appended (Ctrl-C to stop)",
     )
     parser.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=0.2,
+        metavar="SECONDS",
+        help="--follow poll interval (backs off to 1s while idle)",
+    )
+    parser.add_argument(
         "--job", default=None, metavar="ID", help="only events touching one job id"
     )
     parser.add_argument(
@@ -446,6 +466,20 @@ def _add_metrics_parser(subparsers: argparse._SubParsersAction) -> None:
     )
     _add_root_argument(parser)
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _add_watch_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "watch", help="live fleet dashboard (requires the [tui] extra)"
+    )
+    _add_root_argument(parser)
+    parser.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="dashboard refresh interval",
+    )
 
 
 def _add_cancel_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -486,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_loadgen_parser(subparsers)
     _add_events_parser(subparsers)
     _add_metrics_parser(subparsers)
+    _add_watch_parser(subparsers)
     _add_cancel_parser(subparsers)
     _add_gc_parser(subparsers)
     return parser
@@ -898,13 +933,15 @@ def _render_cluster(cluster: Optional[Dict[str, object]]) -> str:
 
 
 def _run_status(args: argparse.Namespace) -> int:
-    report = service_status(args.root)
     if args.json:
-        print(json.dumps(report, indent=2))
-    else:
-        print(_render_status(report))
-        if args.cluster:
-            print(_render_cluster(report.get("cluster")))
+        print(json.dumps(service_status(args.root, with_health=args.health), indent=2))
+        return 0
+    report = service_status(args.root)
+    print(_render_status(report))
+    if args.cluster:
+        print(_render_cluster(report.get("cluster")))
+    if args.health:
+        print(format_health(collect_fleet_health(args.root)))
     return 0
 
 
@@ -914,7 +951,7 @@ def _run_events(args: argparse.Namespace) -> int:
 
     if args.follow:
         try:
-            for record in follow_events(args.root):
+            for record in follow_events(args.root, poll_interval=args.poll):
                 if args.job is not None and record.get("job") != args.job:
                     continue
                 if args.shard is not None and record.get("shard") != args.shard:
@@ -932,31 +969,39 @@ def _run_events(args: argparse.Namespace) -> int:
 
 
 def _run_metrics(args: argparse.Namespace) -> int:
-    # The fleet view is the merge of each writer's *latest* snapshot: a
-    # registry snapshot is cumulative over its process's lifetime, so only
-    # the newest one per writer counts (older ones are subsets of it).
-    latest: Dict[str, Dict[str, Dict[str, object]]] = {}
-    for record in iter_events(args.root, event="metrics"):
-        snapshot = record.get("metrics")
-        if isinstance(snapshot, dict):
-            latest[str(record.get("writer"))] = snapshot
-    merged = merge_snapshots(latest.values())
+    # The fleet view merges the latest snapshot per writer *generation*
+    # (a registry snapshot is cumulative over one process lifetime, and a
+    # restarted writer must sum with — not shadow — its predecessor).
+    merged, writers = fleet_metrics_from_events(iter_events(args.root, event="metrics"))
     store_stats = None
     if (args.root / "store").exists():
         store_stats = read_cumulative_store_stats(args.root / "store")
     if args.json:
         payload = {
             "root": str(args.root),
-            "writers": sorted(latest),
+            "writers": writers,
             "metrics": merged,
             "store": None if store_stats is None else store_stats.to_dict(),
         }
         print(json.dumps(payload, indent=2))
         return 0
-    print(f"service root: {args.root} ({len(latest)} reporting writer(s))")
+    print(f"service root: {args.root} ({len(writers)} reporting writer(s))")
     print(format_metrics(merged))
     if store_stats is not None:
         print(f"store lifetime: {store_stats}")
+    return 0
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    # Textual lives behind the [tui] extra; repro.watch raises a helpful
+    # error when it is missing, which we surface as a plain message.
+    from repro.watch import run_watch
+
+    try:
+        run_watch(args.root, interval=args.interval)
+    except ModuleNotFoundError as exc:
+        print(f"repro watch: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1012,6 +1057,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "loadgen": _run_loadgen,
         "events": _run_events,
         "metrics": _run_metrics,
+        "watch": _run_watch,
         "cancel": _run_cancel,
         "gc": _run_gc,
     }

@@ -1,23 +1,29 @@
 """repro.obs — dependency-light observability: events, traces, metrics, snapshots.
 
-Four small, stdlib-only modules threaded through engine, flow, service and
+Six small, stdlib-only modules threaded through engine, flow, service and
 cluster:
 
 * :mod:`repro.obs.events` — crash-safe append-only JSONL event log per
   service root (atomic line appends, rotation, per-writer sequence numbers,
-  schema-versioned records);
+  schema-versioned records; per-shard streams on sharded roots);
+* :mod:`repro.obs.aggregate` — the merge-reader presenting a root's N
+  event streams as one globally-ordered iterator / incremental cursor;
 * :mod:`repro.obs.trace` — nestable span tracing for solves and flow
   stages, with a JSON trace tree and a flamegraph-style text report;
 * :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
   snapshotted into the event log at heartbeat boundaries;
 * :mod:`repro.obs.snapshot` — typed ``ServiceSnapshot``/``WorkerSnapshot``
-  objects behind ``repro status``, plus event-log job-status replay.
+  objects behind ``repro status``, plus event-log job-status replay;
+* :mod:`repro.obs.health` — per-worker / per-shard health verdicts folded
+  from heartbeats and the merged event stream (``repro watch``'s model).
 
 Layering: engine and flow code may import :mod:`repro.obs` (it is
-stdlib-only at module level); :mod:`repro.obs.snapshot` reaches back into
-the service layer lazily, inside functions, so no import cycle exists.
+stdlib-only at module level); :mod:`repro.obs.snapshot` and
+:mod:`repro.obs.health` reach back into the service layer lazily, inside
+functions, so no import cycle exists.
 """
 
+from repro.obs.aggregate import MergedEventCursor, iter_merged_events, stream_dirs
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     EventCursor,
@@ -28,11 +34,20 @@ from repro.obs.events import (
     iter_events,
     read_events,
 )
+from repro.obs.health import (
+    FleetHealth,
+    ShardHealth,
+    WorkerHealth,
+    classify_worker,
+    collect_fleet_health,
+    format_health,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    fleet_metrics_from_events,
     format_metrics,
     merge_snapshots,
     snapshot_percentile,
@@ -53,11 +68,21 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EventCursor",
     "EventLog",
+    "MergedEventCursor",
     "event_log_for",
     "follow_events",
     "format_event",
     "iter_events",
+    "iter_merged_events",
     "read_events",
+    "stream_dirs",
+    "FleetHealth",
+    "ShardHealth",
+    "WorkerHealth",
+    "classify_worker",
+    "collect_fleet_health",
+    "format_health",
+    "fleet_metrics_from_events",
     "Counter",
     "Gauge",
     "Histogram",

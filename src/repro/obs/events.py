@@ -9,11 +9,29 @@ snapshots, loadgen derives latency percentiles from it, and the typed
 status snapshot (:mod:`repro.obs.snapshot`) can reconstruct per-job status
 from it without re-scanning the spool.
 
-On-disk layout::
+On-disk layout (flat root)::
 
     <root>/events/
         log.jsonl                        # current segment (all writers append)
         log-000001-<pid>-<nonce>.jsonl   # rotated segments, oldest first
+
+On a *sharded* root (PR 7's ``shards.json`` marker) every writer appends
+to one per-shard stream instead, so event appends never contend across
+shards — the same degenerate-case rule as the spool: one shard *is* the
+flat layout above, byte-identical::
+
+    <root>/events/
+        log.jsonl                        # pre-migration history + stray clients
+        s00/log.jsonl                    # shard-0 stream (own rotation)
+        s01/log.jsonl                    # ...
+
+A cluster worker appends to its home shard; any other writer (daemon,
+clients) picks a stable shard by hashing its writer name.  The flat
+stream remains a legitimate member of the set — it holds everything
+written before the migration, the ``resharded`` record itself, and
+appends from clients whose cached log predates the marker — so readers
+always merge ``events/`` plus every ``events/s*/`` stream
+(:mod:`repro.obs.aggregate`), presenting one globally-ordered iterator.
 
 Durability and concurrency rules:
 
@@ -44,6 +62,7 @@ Durability and concurrency rules:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
@@ -69,8 +88,40 @@ Event = Dict[str, object]
 
 
 def events_dir(root: Union[str, Path]) -> Path:
-    """The events directory of a service root."""
+    """The (flat) events directory of a service root."""
     return Path(root) / EVENTS_DIR_NAME
+
+
+def _shard_count(root: Union[str, Path]) -> int:
+    """Shard count of a root per its ``shards.json`` marker; 1 when flat.
+
+    Parsed locally (not via :func:`repro.service.sharding.read_layout`)
+    because the sharding module imports this one at module level, and an
+    event writer must never fail to append over an unreadable marker —
+    any problem degrades to the flat stream, which readers always merge.
+    """
+    try:
+        payload = json.loads((Path(root) / "shards.json").read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return 1
+    if not isinstance(payload, dict) or payload.get("layout_version") != 1:
+        return 1
+    shards = payload.get("shards")
+    return shards if isinstance(shards, int) and shards > 1 else 1
+
+
+def _writer_shard_index(writer: str, shards: int) -> int:
+    """Stable stream assignment of a writer name (same hash as the spool's)."""
+    if shards <= 1:
+        return 0
+    digest = hashlib.blake2b(writer.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def stream_dir(root: Union[str, Path], shard: Optional[int]) -> Path:
+    """Directory of one event stream: the flat one (``shard=None``) or ``sNN``."""
+    base = events_dir(root)
+    return base if shard is None else base / f"s{shard:02d}"
 
 
 def _segment_paths(directory: Path) -> List[Path]:
@@ -89,6 +140,14 @@ class EventLog:
     under one lock.  Every append opens/writes/closes the current segment,
     so rotation by a concurrent process is picked up immediately and no
     stale descriptor can resurrect a rotated file.
+
+    On a sharded root the log appends to one per-shard stream, resolved
+    once at construction: the explicit ``shard`` (a cluster worker's home
+    shard) or, absent that, a stable hash of the writer name.  A flat root
+    ignores ``shard`` entirely and appends to ``events/log.jsonl`` exactly
+    as before.  ``nonce`` is this instance's start nonce: it rides every
+    ``metrics`` snapshot so aggregators can tell generations of a reused
+    writer label apart instead of silently keeping only the latest.
     """
 
     def __init__(
@@ -96,12 +155,21 @@ class EventLog:
         root: Union[str, Path],
         writer: Optional[str] = None,
         max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+        shard: Optional[int] = None,
     ) -> None:
         if max_segment_bytes < 1:
             raise ValueError(f"max_segment_bytes must be positive, got {max_segment_bytes}")
         self.root = Path(root)
-        self.dir = events_dir(self.root)
         self.writer = writer or f"proc-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        shards = _shard_count(self.root)
+        if shards <= 1:
+            self.shard: Optional[int] = None
+        elif shard is not None:
+            self.shard = shard % shards
+        else:
+            self.shard = _writer_shard_index(self.writer, shards)
+        self.dir = stream_dir(self.root, self.shard)
+        self.nonce = uuid.uuid4().hex[:8]
         self.max_segment_bytes = max_segment_bytes
         self._seq = 0
         self._lock = threading.Lock()
@@ -213,6 +281,19 @@ def _parse_line(line: str) -> Optional[Event]:
     return record
 
 
+def iter_stream(directory: Path) -> Iterator[Event]:
+    """Every readable event of ONE stream directory, in append order."""
+    for path in _segment_paths(directory):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            record = _parse_line(line)
+            if record is not None:
+                yield record
+
+
 def iter_events(
     root: Union[str, Path],
     job_id: Optional[str] = None,
@@ -221,27 +302,25 @@ def iter_events(
 ) -> Iterator[Event]:
     """Every readable event of a root, oldest first, optionally filtered.
 
-    ``job_id`` keeps only records whose ``job`` field matches; ``event``
-    keeps only records of one event type; ``shard`` keeps only records
-    tagged with one spool shard (``s00``…, emitted on sharded roots).
-    Unreadable lines are skipped.
+    On a sharded root this is the merge of the flat stream and every
+    per-shard stream, globally ordered (:mod:`repro.obs.aggregate`); a
+    flat root reads its single stream in plain append order, exactly as
+    before sharding existed.  ``job_id`` keeps only records whose ``job``
+    field matches; ``event`` keeps only records of one event type;
+    ``shard`` keeps only records tagged with one spool shard (``s00``…,
+    emitted on sharded roots).  Unreadable lines are skipped.
     """
-    for path in _segment_paths(events_dir(root)):
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
+    # Lazy import: aggregate builds on this module's stream primitives.
+    from repro.obs.aggregate import iter_merged_events
+
+    for record in iter_merged_events(root):
+        if job_id is not None and record.get("job") != job_id:
             continue
-        for line in text.splitlines():
-            record = _parse_line(line)
-            if record is None:
-                continue
-            if job_id is not None and record.get("job") != job_id:
-                continue
-            if event is not None and record.get("event") != event:
-                continue
-            if shard is not None and record.get("shard") != shard:
-                continue
-            yield record
+        if event is not None and record.get("event") != event:
+            continue
+        if shard is not None and record.get("shard") != shard:
+            continue
+        yield record
 
 
 def read_events(
@@ -267,10 +346,14 @@ class EventCursor:
     ever skipped or double-delivered across a rotation.  A partial last
     line (a write caught mid-flight) is left unconsumed until it gains its
     terminating newline.
+
+    One cursor watches ONE stream directory — the flat one by default.
+    On sharded roots use :class:`repro.obs.aggregate.MergedEventCursor`,
+    which holds one of these per stream and merges their polls.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.dir = events_dir(root)
+    def __init__(self, root: Union[str, Path], directory: Optional[Path] = None) -> None:
+        self.dir = events_dir(root) if directory is None else directory
         self._offsets: Dict[int, int] = {}
         self.skipped = 0  # unreadable (torn/foreign) lines seen
 
@@ -303,23 +386,45 @@ class EventCursor:
         return records
 
 
+#: Ceiling of the idle backoff in :func:`follow_events`: a quiet fleet is
+#: polled at most once a second however small the configured interval.
+MAX_IDLE_POLL_INTERVAL = 1.0
+
+
 def follow_events(
     root: Union[str, Path],
     poll_interval: float = 0.2,
     stop: Optional[Callable[[], bool]] = None,
+    max_interval: Optional[float] = None,
 ) -> Iterator[Event]:
     """Yield events as they are appended (the ``repro events --follow`` loop).
 
     Replays the existing log first, then polls for new records until
-    ``stop()`` returns True (or forever).
+    ``stop()`` returns True (or forever).  Reads through the merge cursor,
+    so per-shard streams of a sharded root are followed too.
+
+    Idle polls back off exponentially: every empty poll doubles the sleep,
+    up to ``max_interval`` (default: the larger of ``poll_interval`` and
+    :data:`MAX_IDLE_POLL_INTERVAL`), so tailing a quiet fleet costs ~1
+    stat-walk per second instead of a busy loop; any activity snaps the
+    interval back to ``poll_interval``.
     """
-    cursor = EventCursor(root)
+    if poll_interval <= 0:
+        raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+    if max_interval is None:
+        max_interval = max(poll_interval, MAX_IDLE_POLL_INTERVAL)
+    from repro.obs.aggregate import MergedEventCursor
+
+    cursor = MergedEventCursor(root)
+    delay = poll_interval
     while True:
-        for record in cursor.poll():
+        records = cursor.poll()
+        for record in records:
             yield record
         if stop is not None and stop():
             return
-        time.sleep(poll_interval)
+        delay = poll_interval if records else min(max_interval, delay * 2.0)
+        time.sleep(delay)
 
 
 def format_event(record: Event) -> str:
@@ -341,11 +446,14 @@ def format_event(record: Event) -> str:
 __all__ = [
     "EVENT_SCHEMA_VERSION",
     "DEFAULT_MAX_SEGMENT_BYTES",
+    "MAX_IDLE_POLL_INTERVAL",
     "Event",
     "EventLog",
     "EventCursor",
     "event_log_for",
     "events_dir",
+    "stream_dir",
+    "iter_stream",
     "iter_events",
     "read_events",
     "follow_events",

@@ -14,9 +14,11 @@ Instruments are created on first use (``registry.counter("lease.reclaimed")``)
 so emitting code never pre-declares anything.  At heartbeat boundaries the
 owning process serialises ``registry.snapshot()`` into the event log as a
 ``metrics`` event; ``repro metrics`` then merges the *latest snapshot per
-writer* from the log, which is how per-process registries compose into a
-cluster view without shared memory.  Histogram snapshots carry raw bucket
-counts, so merged percentiles stay well-defined.
+writer generation* from the log (:func:`fleet_metrics_from_events`; the
+generation is the emitting event log's start nonce, so a restarted writer
+sums with — never shadows — its predecessor), which is how per-process
+registries compose into a cluster view without shared memory.  Histogram
+snapshots carry raw bucket counts, so merged percentiles stay well-defined.
 
 Thread-safe throughout (one lock per registry); all operations are O(1)
 per observation.
@@ -209,6 +211,33 @@ def merge_snapshots(
     return dict(sorted(merged.items()))
 
 
+def fleet_metrics_from_events(
+    records: Iterable[Dict[str, object]],
+) -> Tuple[Dict[str, Dict[str, object]], List[str]]:
+    """The fleet view from ``metrics`` event records: merged snapshot + writers.
+
+    A registry snapshot is cumulative over its *process generation*, so the
+    merge keeps the latest snapshot per ``(writer, nonce)`` — the nonce is
+    the emitting :class:`~repro.obs.events.EventLog`'s start nonce — and
+    sums across generations.  Keying by writer alone would silently drop a
+    restarted process's pre-restart counters whenever the writer label is
+    reused; records predating the nonce field key on ``(writer, "")`` and
+    keep the old latest-per-writer behaviour.
+    """
+    latest: Dict[Tuple[str, str], Dict[str, Dict[str, object]]] = {}
+    writers: List[str] = []
+    for record in records:
+        snapshot = record.get("metrics")
+        if not isinstance(snapshot, dict):
+            continue
+        writer = str(record.get("writer"))
+        nonce = record.get("nonce")
+        latest[(writer, nonce if isinstance(nonce, str) else "")] = snapshot
+        if writer not in writers:
+            writers.append(writer)
+    return merge_snapshots(latest.values()), sorted(writers)
+
+
 def snapshot_percentile(record: Dict[str, object], fraction: float) -> Optional[float]:
     """Percentile from a serialised histogram record, or ``None`` if empty."""
     if record.get("type") != "histogram" or not int(record.get("count", 0)):
@@ -252,6 +281,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "fleet_metrics_from_events",
     "snapshot_percentile",
     "format_metrics",
 ]

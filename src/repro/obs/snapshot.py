@@ -30,12 +30,15 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.obs.events import events_dir, iter_events
 
+if TYPE_CHECKING:  # health imports this module at runtime; we only need types
+    from repro.obs.health import FleetHealth
+
 #: Event types that change a job's status, in replay order.
-_STATUS_EVENTS = ("submitted", "claimed", "released", "reclaimed")
+_STATUS_EVENTS = ("submitted", "claimed", "released", "reclaimed", "requeued")
 
 
 @dataclass
@@ -143,7 +146,13 @@ class StoreSnapshot:
 
 @dataclass
 class ServiceSnapshot:
-    """Everything ``repro status`` shows, as one typed object."""
+    """Everything ``repro status`` shows, as one typed object.
+
+    ``health`` is the opt-in fleet-health section (``collect(...,
+    with_health=True)``); it stays ``None`` — and *absent* from
+    ``to_dict`` — by default, so the historical ``service_status`` JSON
+    shape is preserved for every pre-health consumer.
+    """
 
     root: str
     daemon: DaemonSnapshot = field(default_factory=DaemonSnapshot)
@@ -152,10 +161,11 @@ class ServiceSnapshot:
     cache_totals: Dict[str, int] = field(default_factory=dict)
     store: Optional[StoreSnapshot] = None
     cluster: Optional[ClusterSnapshot] = None
+    health: Optional["FleetHealth"] = None
 
     def to_dict(self) -> Dict[str, object]:
         """The historical ``service_status`` JSON shape, unchanged."""
-        return {
+        payload: Dict[str, object] = {
             "root": self.root,
             "daemon": self.daemon.to_dict(),
             "jobs": {"counts": self.job_counts, "records": self.job_records},
@@ -163,15 +173,19 @@ class ServiceSnapshot:
             "store": self.store.to_dict() if self.store is not None else None,
             "cluster": self.cluster.to_dict() if self.cluster is not None else None,
         }
+        if self.health is not None:
+            payload["health"] = self.health.to_dict()
+        return payload
 
     @classmethod
-    def collect(cls, root: Union[str, Path]) -> "ServiceSnapshot":
+    def collect(cls, root: Union[str, Path], with_health: bool = False) -> "ServiceSnapshot":
         """Snapshot a root from disk (spool-authoritative; pure reads).
 
         Safe to call while a daemon is serving, and meaningful when none is.
         On a cluster root, jobs claimed under leases are reported as
         ``running`` and the ``cluster`` section carries per-worker liveness,
-        throughput and the active leases.
+        throughput and the active leases.  ``with_health=True`` adds the
+        fleet-health fold (one extra pass over the merged event stream).
         """
         # Lazy import: the service layer imports repro.obs for its emitters.
         from repro.service.daemon import _jobs_dir, _load_jobs, _load_leased_jobs
@@ -213,6 +227,11 @@ class ServiceSnapshot:
             entries, total = blob_disk_usage(root / "store" / "blobs")
             store = StoreSnapshot(entries=entries, bytes=total)
 
+        health = None
+        if with_health:
+            from repro.obs.health import collect_fleet_health
+
+            health = collect_fleet_health(root)
         return cls(
             root=str(root),
             daemon=daemon,
@@ -221,6 +240,7 @@ class ServiceSnapshot:
             cache_totals=cache_totals,
             store=store,
             cluster=collect_cluster(root),
+            health=health,
         )
 
 
@@ -284,9 +304,12 @@ def job_statuses_from_events(root: Union[str, Path]) -> Optional[Dict[str, str]]
 
     Returns ``None`` when the root has no event log (pre-obs roots — callers
     fall back to a spool scan).  Replay rules: ``submitted`` → queued,
-    ``claimed`` → running, ``released``/``reclaimed`` → the status carried
-    by the event (terminal statuses stick; a ``released`` back to ``queued``
-    — a retry — puts the job back in line).
+    ``claimed`` → running, ``requeued`` (an operator putting a terminal job
+    back in line, e.g. from ``repro watch``) → queued,
+    ``released``/``reclaimed`` → the status carried by the event (terminal
+    statuses stick; a ``released`` back to ``queued`` — a retry — puts the
+    job back in line).  On sharded roots the replay runs over the merged
+    multi-shard stream, so it stays spool-exact across per-shard logs.
     """
     if not events_dir(root).exists():
         return None
@@ -302,6 +325,8 @@ def job_statuses_from_events(root: Union[str, Path]) -> Optional[Dict[str, str]]
             statuses[job_id] = "queued"
         elif event == "claimed":
             statuses[job_id] = "running"
+        elif event == "requeued":
+            statuses[job_id] = "queued"
         else:  # released / reclaimed carry the resulting status
             status = record.get("status")
             if isinstance(status, str):

@@ -71,7 +71,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.engine.backends import create_backend
 from repro.engine.cache import SolutionCache
 from repro.engine.panels import Engine
-from repro.obs.events import EventCursor, EventLog
+from repro.obs.aggregate import MergedEventCursor
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.service.daemon import (
     STALE_HEARTBEAT_SECONDS,
@@ -564,7 +565,9 @@ class ClusterWorker:
         self.home_shard = (config.home_shard or 0) % self.layout.shards
         _workers_dir(root).mkdir(parents=True, exist_ok=True)
         self.identity = identity or WorkerIdentity.create(config.label)
-        self.events = EventLog(root, writer=self.identity.worker_id)
+        # On a sharded root the worker's events go to its home-shard stream,
+        # so appends from different workers never contend on one file.
+        self.events = EventLog(root, writer=self.identity.worker_id, shard=self.home_shard)
         self.metrics = MetricsRegistry()
         self.lease = LeaseManager(
             root, self.identity, lease_ttl=config.lease_ttl, events=self.events,
@@ -819,8 +822,14 @@ class ClusterWorker:
             self.metrics.gauge("cache.misses").set(stats.misses)
             self.metrics.gauge("cache.store_hits").set(stats.store_hits)
             self.store.persist_stats()
+            # The nonce keys this process generation: aggregation sums
+            # snapshots across generations of a reused writer label instead
+            # of keeping only the latest (see fleet_metrics_from_events).
             self.events.emit(
-                "metrics", worker=self.identity.worker_id, metrics=self.metrics.snapshot()
+                "metrics",
+                worker=self.identity.worker_id,
+                nonce=self.events.nonce,
+                metrics=self.metrics.snapshot(),
             )
 
     # -- main loop ------------------------------------------------------------------
@@ -1253,7 +1262,8 @@ def run_loadgen(
     layout = read_layout(root)
     # Open the cursor before submitting so no terminal event can be missed;
     # the first poll() drains (and discards) whatever history the log holds.
-    cursor = EventCursor(root)
+    # The merged cursor covers every per-shard stream on sharded roots.
+    cursor = MergedEventCursor(root)
     cursor.poll()
     start = time.perf_counter()
     for index in range(jobs):

@@ -384,7 +384,7 @@ class ServiceDaemon:
             self.metrics.gauge("cache.store_hits").set(stats.store_hits)
             self.metrics.gauge("spool.queued").set(len(self.queue))
             self.store.persist_stats()
-            self.events.emit("metrics", metrics=self.metrics.snapshot())
+            self.events.emit("metrics", nonce=self.events.nonce, metrics=self.metrics.snapshot())
 
     # -- main loop ----------------------------------------------------------------
 
@@ -579,7 +579,7 @@ def _load_leased_jobs(root: Path) -> List[Job]:
     return jobs
 
 
-def service_status(root: Union[str, Path]) -> Dict[str, object]:
+def service_status(root: Union[str, Path], with_health: bool = False) -> Dict[str, object]:
     """Snapshot of the whole service directory (daemon, jobs, store, cache).
 
     Pure reads — safe to call while a daemon is serving, and meaningful when
@@ -591,9 +591,11 @@ def service_status(root: Union[str, Path]) -> Dict[str, object]:
     Thin wrapper over :class:`repro.obs.snapshot.ServiceSnapshot` — the one
     typed structure behind ``status``, ``status --cluster`` and ``status
     --json``; the returned dict shape is the snapshot's ``to_dict`` and is
-    unchanged from the pre-snapshot service layer.
+    unchanged from the pre-snapshot service layer.  ``with_health=True``
+    additionally folds the fleet health model in (a ``health`` key appears
+    in the returned dict only when requested).
     """
-    return ServiceSnapshot.collect(root).to_dict()
+    return ServiceSnapshot.collect(root, with_health=with_health).to_dict()
 
 
 def _sweep_dead_workers(root: Path) -> int:

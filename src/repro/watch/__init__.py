@@ -1,0 +1,56 @@
+"""repro.watch — the live fleet dashboard behind ``repro watch``.
+
+Two layers:
+
+* :mod:`repro.watch.data` — stdlib-only model (:class:`WatchPoller` /
+  :class:`WatchFrame`, sparkline history, job audit, cancel/requeue
+  actions).  Always importable; fully tested in the core install.
+* :mod:`repro.watch.app` — the Textual TUI over those frames.  Textual
+  ships behind the optional ``[tui]`` extra, so :func:`run_watch` imports
+  it lazily and raises a :class:`ModuleNotFoundError` with install
+  instructions when it is missing; nothing in the core package ever
+  imports Textual at module scope.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.watch.data import (
+    WatchFrame,
+    WatchPoller,
+    cancel_job,
+    job_audit,
+    read_job_table,
+    requeue_job,
+    sparkline,
+)
+
+
+def run_watch(root: Union[str, Path], interval: float = 1.0) -> None:
+    """Run the dashboard over ``root`` (blocks until the user quits).
+
+    Raises :class:`ModuleNotFoundError` with install instructions when the
+    ``[tui]`` extra (Textual) is not installed.
+    """
+    try:
+        from repro.watch.app import WatchApp
+    except ModuleNotFoundError as exc:  # textual missing
+        raise ModuleNotFoundError(
+            "the dashboard needs the optional [tui] extra; install it with "
+            "`pip install -e '.[tui]'` (or `pip install textual`)"
+        ) from exc
+    WatchApp(root, interval=interval).run()
+
+
+__all__ = [
+    "WatchFrame",
+    "WatchPoller",
+    "cancel_job",
+    "job_audit",
+    "read_job_table",
+    "requeue_job",
+    "run_watch",
+    "sparkline",
+]

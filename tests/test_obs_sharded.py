@@ -1,0 +1,423 @@
+"""Tests for the sharded event log, merge-reader, health model and parity.
+
+PR 8's headline guarantees: on a sharded root every writer appends to one
+per-shard stream (no cross-shard write contention), the merge-reader
+presents the streams as one globally-ordered iterator that is gapless per
+writer even under a concurrent multi-writer burst, flat roots keep the
+byte-identical legacy layout, and event-log replay still matches a spool
+scan when the events span shard streams — including the stray-adoption
+records a mid-migration submitter leaves behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.aggregate import MergedEventCursor, iter_merged_events, stream_dirs
+from repro.obs.events import (
+    EventLog,
+    events_dir,
+    follow_events,
+    iter_events,
+    iter_stream,
+    stream_dir,
+)
+from repro.obs.health import (
+    FLAT_SHARD,
+    STATE_DEAD,
+    STATE_LAGGING,
+    STATE_OK,
+    STATE_STALLED,
+    STATE_STOPPED,
+    classify_worker,
+    collect_fleet_health,
+    format_health,
+)
+from repro.obs.metrics import MetricsRegistry, fleet_metrics_from_events
+from repro.obs.snapshot import ServiceSnapshot, job_statuses_from_events
+from repro.service import ClusterWorker, WorkerConfig, service_status, submit_job
+from repro.service.cluster import WORKER_STALE_SECONDS
+from repro.service.sharding import ensure_layout
+
+
+def _shard_root(tmp_path: Path, shards: int = 4) -> Path:
+    root = tmp_path / "svc"
+    ensure_layout(root, shards=shards)
+    return root
+
+
+# -- per-shard streams ----------------------------------------------------------------
+
+
+class TestShardedStreams:
+    def test_flat_root_layout_is_byte_identical(self, tmp_path):
+        log = EventLog(tmp_path, writer="w")
+        log.emit("submitted", job="j1")
+        assert (tmp_path / "events" / "log.jsonl").is_file()
+        assert not list(events_dir(tmp_path).glob("s[0-9][0-9]"))
+        # One stream: plain append order, no merge reordering.
+        assert [r["job"] for r in iter_events(tmp_path)] == ["j1"]
+
+    def test_explicit_shard_routes_to_its_stream(self, tmp_path):
+        root = _shard_root(tmp_path)
+        log = EventLog(root, writer="worker-a", shard=2)
+        log.emit("submitted", job="j1", shard="s02")
+        assert log.dir == events_dir(root) / "s02"
+        assert (events_dir(root) / "s02" / "log.jsonl").is_file()
+        assert not (events_dir(root) / "log.jsonl").exists()
+
+    def test_writer_hash_assignment_is_stable(self, tmp_path):
+        root = _shard_root(tmp_path)
+        first = EventLog(root, writer="daemon-1234")
+        second = EventLog(root, writer="daemon-1234")
+        assert first.shard == second.shard
+        assert first.dir == second.dir
+
+    def test_explicit_shard_wraps_modulo_shard_count(self, tmp_path):
+        root = _shard_root(tmp_path, shards=4)
+        assert EventLog(root, writer="w", shard=6).shard == 2
+
+    def test_corrupt_marker_degrades_to_flat_stream(self, tmp_path):
+        root = tmp_path / "svc"
+        root.mkdir()
+        (root / "shards.json").write_text("{not json")
+        log = EventLog(root, writer="w", shard=3)
+        log.emit("submitted", job="j1")
+        assert (root / "events" / "log.jsonl").is_file()
+
+    def test_streams_do_not_share_append_files(self, tmp_path):
+        root = _shard_root(tmp_path)
+        for index in range(4):
+            EventLog(root, writer=f"w{index}", shard=index).emit("ping", n=index)
+        for index in range(4):
+            records = list(iter_stream(stream_dir(root, index)))
+            # Only this shard's writers appear (the resharding client's own
+            # record may share the stream; no other wN writer ever does).
+            pings = [r["writer"] for r in records if r["event"] == "ping"]
+            assert pings == [f"w{index}"]
+
+
+# -- merge-reader ---------------------------------------------------------------------
+
+
+class TestMergeReader:
+    def test_flat_stream_is_merged_with_shard_streams(self, tmp_path):
+        root = tmp_path / "svc"
+        # History written before the migration lands in the flat stream...
+        EventLog(root, writer="old").emit("submitted", job="pre")
+        ensure_layout(root, shards=4)
+        # ...and post-migration writers append to their shard streams.
+        EventLog(root, writer="new", shard=1).emit("submitted", job="post")
+        jobs = [r["job"] for r in iter_events(root) if r.get("job")]
+        assert jobs == ["pre", "post"]
+        assert len(stream_dirs(root)) >= 2
+
+    def test_concurrent_burst_is_globally_ordered_and_gapless(self, tmp_path):
+        root = _shard_root(tmp_path)
+        per_writer = 200
+        barrier = threading.Barrier(4)
+
+        def burst(index: int) -> None:
+            log = EventLog(root, writer=f"w{index}", shard=index)
+            barrier.wait()
+            for n in range(per_writer):
+                log.emit("ping", n=n)
+
+        threads = [threading.Thread(target=burst, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        records = [r for r in iter_merged_events(root) if r["event"] == "ping"]
+        assert len(records) == 4 * per_writer
+        keys = [(r["ts"], r["writer"], r["seq"]) for r in records]
+        assert keys == sorted(keys)  # globally ordered
+        for index in range(4):  # gapless per writer
+            seqs = [r["seq"] for r in records if r["writer"] == f"w{index}"]
+            assert seqs == list(range(per_writer))
+
+    def test_merged_cursor_tracks_every_stream(self, tmp_path):
+        root = _shard_root(tmp_path)
+        logs = [EventLog(root, writer=f"w{i}", shard=i) for i in range(4)]
+        cursor = MergedEventCursor(root)
+        for log in logs:
+            log.emit("ping")
+        first = [r for r in cursor.poll() if r["event"] == "ping"]
+        assert sorted(r["writer"] for r in first) == ["w0", "w1", "w2", "w3"]
+        assert cursor.poll() == []  # no double delivery
+        logs[2].emit("pong")
+        assert [r["event"] for r in cursor.poll()] == ["pong"]
+
+    def test_merged_cursor_picks_up_streams_born_mid_follow(self, tmp_path):
+        root = tmp_path / "svc"
+        EventLog(root, writer="flat").emit("ping")
+        cursor = MergedEventCursor(root)
+        assert len(cursor.poll()) == 1
+        # A migration happens while the cursor is live: new shard streams
+        # must be discovered by the next poll, not only at construction.
+        ensure_layout(root, shards=2)
+        EventLog(root, writer="w", shard=1).emit("pong")
+        events = [r["event"] for r in cursor.poll()]
+        assert "pong" in events
+
+    def test_merged_cursor_survives_rotation_between_polls(self, tmp_path):
+        root = _shard_root(tmp_path, shards=2)
+        log = EventLog(root, writer="w0", shard=0, max_segment_bytes=256)
+        cursor = MergedEventCursor(root)
+        total = 0
+        for n in range(60):
+            log.emit("ping", n=n)
+            if n % 20 == 19:
+                total += sum(1 for r in cursor.poll() if r["event"] == "ping")
+        total += sum(1 for r in cursor.poll() if r["event"] == "ping")
+        assert total == 60
+        assert cursor.skipped == 0
+
+    def test_events_verb_merges_shard_streams(self, tmp_path, capsys):
+        root = _shard_root(tmp_path)
+        for index in range(4):
+            EventLog(root, writer=f"w{index}", shard=index).emit(
+                "submitted", job=f"job-{index}", shard=f"s{index:02d}"
+            )
+        assert main(["events", "--root", str(root), "--json"]) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        jobs = sorted(r["job"] for r in lines if r.get("job"))
+        assert jobs == [f"job-{i}" for i in range(4)]
+        # --shard narrows to one stream's records
+        assert main(["events", "--root", str(root), "--shard", "s02"]) == 0
+        assert "job-2" in capsys.readouterr().out
+
+
+# -- follow backoff -------------------------------------------------------------------
+
+
+class TestFollowBackoff:
+    def test_rejects_nonpositive_poll_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            next(follow_events(tmp_path, poll_interval=0.0))
+
+    def test_idle_polls_back_off_and_activity_resets(self, tmp_path, monkeypatch):
+        root = tmp_path / "svc"
+        log = EventLog(root, writer="w")
+        delays: list = []
+        monkeypatch.setattr(time, "sleep", delays.append)
+        calls = {"n": 0}
+
+        def stop() -> bool:
+            calls["n"] += 1
+            if calls["n"] == 4:
+                log.emit("ping")  # activity lands between polls
+            return calls["n"] >= 6
+
+        records = list(follow_events(root, poll_interval=0.1, stop=stop))
+        assert [r["event"] for r in records] == ["ping"]
+        # Empty polls double the delay up to the 1s idle ceiling; the poll
+        # that saw the ping snaps back to the configured interval.
+        assert delays == [
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.8),
+            pytest.approx(1.0),
+            pytest.approx(0.1),
+        ]
+
+    def test_events_parser_honours_poll_flag(self, tmp_path):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["events", "--root", str(tmp_path), "--follow", "--poll", "0.05"]
+        )
+        assert args.poll == pytest.approx(0.05)
+
+
+# -- metrics generations --------------------------------------------------------------
+
+
+class TestMetricsGenerations:
+    def _metrics_record(self, writer: str, nonce: str, value: float) -> dict:
+        return {
+            "writer": writer,
+            "nonce": nonce,
+            "metrics": {"jobs.done": {"type": "counter", "value": value}},
+        }
+
+    def test_generations_of_a_reused_writer_label_sum(self, tmp_path):
+        records = [
+            self._metrics_record("w", "gen-a", 3.0),
+            self._metrics_record("w", "gen-a", 5.0),  # later snapshot, same life
+            self._metrics_record("w", "gen-b", 2.0),  # restarted under same label
+        ]
+        merged, writers = fleet_metrics_from_events(records)
+        assert merged["jobs.done"]["value"] == 7.0  # 5 (latest of a) + 2 (b)
+        assert writers == ["w"]
+
+    def test_legacy_records_without_nonce_keep_latest(self, tmp_path):
+        records = [
+            {"writer": "w", "metrics": {"jobs.done": {"type": "counter", "value": 3.0}}},
+            {"writer": "w", "metrics": {"jobs.done": {"type": "counter", "value": 5.0}}},
+        ]
+        merged, _writers = fleet_metrics_from_events(records)
+        assert merged["jobs.done"]["value"] == 5.0
+
+    def test_event_log_round_trip_sums_across_restarts(self, tmp_path):
+        root = tmp_path / "svc"
+        for done in (4.0, 2.0):  # two process generations, same writer label
+            log = EventLog(root, writer="daemon-fixed")
+            registry = MetricsRegistry()
+            registry.counter("jobs.done").inc(done)
+            log.emit("metrics", nonce=log.nonce, metrics=registry.snapshot())
+        merged, writers = fleet_metrics_from_events(iter_events(root, event="metrics"))
+        assert merged["jobs.done"]["value"] == 6.0
+        assert writers == ["daemon-fixed"]
+
+
+# -- health model ---------------------------------------------------------------------
+
+
+class TestHealthModel:
+    def _heartbeat(self, age: float, now: float, **extra: object) -> dict:
+        beat = {"updated_at": now - age, "poll_interval": 0.1, "started_at": now - 60.0}
+        beat.update(extra)
+        return beat
+
+    def test_worker_state_machine_boundaries(self):
+        now = 1000.0
+        bound = WORKER_STALE_SECONDS  # poll_interval is small; bound = 5s
+        assert classify_worker(self._heartbeat(0.1, now), now)[0] == STATE_OK
+        assert classify_worker(self._heartbeat(0.6 * bound, now), now)[0] == STATE_LAGGING
+        assert classify_worker(self._heartbeat(2.0 * bound, now), now)[0] == STATE_STALLED
+        assert classify_worker(self._heartbeat(4.0 * bound, now), now)[0] == STATE_DEAD
+        assert (
+            classify_worker(self._heartbeat(0.1, now, stopped=True), now)[0] == STATE_STOPPED
+        )
+
+    def test_fleet_verdict_is_worst_live_worker(self, tmp_path):
+        root = tmp_path / "svc"
+        workers = root / "workers"
+        workers.mkdir(parents=True)
+        now = time.time()
+        for name, age, stopped in (("w-ok", 0.1, False), ("w-gone", 99.0, False)):
+            (workers / f"{name}.json").write_text(
+                json.dumps(
+                    {
+                        "updated_at": now - age,
+                        "started_at": now - 120.0,
+                        "poll_interval": 0.1,
+                        "stopped": stopped,
+                        "jobs_done": 3,
+                    }
+                )
+            )
+        health = collect_fleet_health(root, now=now)
+        assert health.workers["w-ok"].state == STATE_OK
+        assert health.workers["w-gone"].state == STATE_DEAD
+        assert health.verdict == STATE_DEAD
+        assert health.workers["w-ok"].throughput_jobs_per_s > 0.0
+
+    def test_all_stopped_fleet_reports_stopped(self, tmp_path):
+        root = tmp_path / "svc"
+        workers = root / "workers"
+        workers.mkdir(parents=True)
+        (workers / "w.json").write_text(
+            json.dumps({"updated_at": time.time(), "stopped": True})
+        )
+        assert collect_fleet_health(root).verdict == STATE_STOPPED
+
+    def test_shard_statistics_from_merged_replay(self, tmp_path):
+        root = _shard_root(tmp_path, shards=2)
+        log = EventLog(root, writer="w", shard=0)
+        for n in range(3):
+            log.emit("submitted", job=f"j{n}", shard="s00")
+        log.emit("claimed", job="j0", shard="s00")
+        log.emit("released", job="j0", status="done", shard="s00", latency=0.1)
+        log.emit("claimed", job="j1", shard="s00", steal=True)
+        health = collect_fleet_health(root)
+        shard = health.shards["s00"]
+        assert shard.submitted == 3 and shard.claims == 2 and shard.steals == 1
+        assert shard.queued == 1  # j2 never claimed
+        assert shard.leased == 1  # j1 claimed, not yet released
+        assert shard.claim_latency_p50 is not None
+        assert shard.claim_latency_p50 <= shard.claim_latency_p95
+        assert shard.queue_trend in ("rising", "falling", "flat")
+
+    def test_flat_root_folds_into_pseudo_shard(self, tmp_path):
+        root = tmp_path / "svc"
+        log = EventLog(root, writer="w")
+        log.emit("submitted", job="j")
+        health = collect_fleet_health(root)
+        assert set(health.shards) == {FLAT_SHARD}
+
+    def test_empty_root_is_idle_and_renders(self, tmp_path):
+        health = collect_fleet_health(tmp_path / "empty")
+        assert health.verdict == "idle"
+        assert "no workers" in format_health(health)
+
+    def test_snapshot_health_is_opt_in(self, tmp_path):
+        root = tmp_path / "svc"
+        EventLog(root, writer="w").emit("submitted", job="j")
+        plain = ServiceSnapshot.collect(root).to_dict()
+        assert "health" not in plain
+        with_health = ServiceSnapshot.collect(root, with_health=True).to_dict()
+        assert with_health["health"]["verdict"] == "idle"
+
+    def test_status_health_verb_prints_verdict(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        EventLog(root, writer="w").emit("submitted", job="j")
+        assert main(["status", "--root", str(root), "--health"]) == 0
+        assert "health:" in capsys.readouterr().out
+        assert main(["status", "--root", str(root), "--health", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"]["verdict"] == "idle"
+
+
+# -- snapshot/event parity on sharded roots (satellite 3) -----------------------------
+
+
+class TestShardedParity:
+    def test_statuses_replayed_from_merged_stream_match_spool(self, tmp_path):
+        root = _shard_root(tmp_path, shards=4)
+        for _n in range(4):
+            submit_job(root, "smoke")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        assert worker.run(idle_exit=0.3) == 4
+        from_spool = {
+            record["job_id"]: record["status"]
+            for record in service_status(root)["jobs"]["records"]
+        }
+        assert from_spool and set(from_spool.values()) == {"done"}
+        assert job_statuses_from_events(root) == from_spool
+
+    def test_parity_holds_through_stray_adoption(self, tmp_path):
+        root = _shard_root(tmp_path, shards=4)
+        jobs = [submit_job(root, "smoke") for _n in range(3)]
+        # Simulate a submitter that raced the migration: its record sits at
+        # the flat spool path, invisible to per-shard scans until adopted.
+        stray = jobs[0]
+        sharded_path = next(path for path in root.glob(f"jobs/s*/{stray.job_id}.json"))
+        os.rename(sharded_path, root / "jobs" / f"{stray.job_id}.json")
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        assert worker.run(idle_exit=0.3) == 3
+        assert [r for r in iter_events(root, event="adopted")]  # adoption recorded
+        from_spool = {
+            record["job_id"]: record["status"]
+            for record in service_status(root)["jobs"]["records"]
+        }
+        assert job_statuses_from_events(root) == from_spool
+        assert from_spool[stray.job_id] == "done"
+
+    def test_requeued_event_replays_to_queued(self, tmp_path):
+        root = tmp_path / "svc"
+        log = EventLog(root, writer="w")
+        log.emit("submitted", job="j")
+        log.emit("claimed", job="j")
+        log.emit("released", job="j", status="failed")
+        log.emit("requeued", job="j")
+        assert job_statuses_from_events(root) == {"j": "queued"}
