@@ -99,7 +99,7 @@ from repro.noise.table_builder import LskTableBuilder, TableBuildConfig
 from repro.obs.events import follow_events, format_event, iter_events, read_events
 from repro.obs.health import collect_fleet_health, format_health
 from repro.obs.metrics import fleet_metrics_from_events, format_metrics
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, set_active_tracer
 from repro.service import (
     MAX_SHARDS,
     ClusterConfig,
@@ -174,6 +174,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=1,
         help="independent annealing chains per panel (annealing efforts only)",
+    )
+    parser.add_argument(
+        "--batch-k",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="candidate moves scored per batched annealing step "
+        "(anneal-batched effort; default: the schedule's batch_k)",
     )
 
 
@@ -544,6 +552,7 @@ def _run_tables(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         sino_effort=args.effort,
         chains=args.chains,
+        batch_k=args.batch_k,
         store_path=args.store,
     )
     start = time.perf_counter()
@@ -589,11 +598,17 @@ def _instance_run_setup(args: argparse.Namespace):
     circuit = generate_circuit(
         args.circuit, sensitivity_rate=args.rate, scale=args.scale, seed=args.seed
     )
+    anneal = None
+    if args.chains > 1 or args.batch_k is not None:
+        anneal = AnnealConfig(
+            chains=args.chains,
+            **({} if args.batch_k is None else {"batch_k": args.batch_k}),
+        )
     config = GsinoConfig(
         crosstalk_bound=args.bound,
         length_scale=1.0 / (args.scale ** 0.5),
         sino_effort=args.effort,
-        anneal=AnnealConfig(chains=args.chains) if args.chains > 1 else None,
+        anneal=anneal,
     )
     store = None if args.store is None else ResultStore(args.store)
     engine = Engine(
@@ -601,6 +616,9 @@ def _instance_run_setup(args: argparse.Namespace):
         cache=None if args.no_cache else SolutionCache(store=store),
         tracer=Tracer() if getattr(args, "trace", False) else None,
     )
+    # Deep call sites (the anneal chain loop) span against the ambient
+    # tracer; install it so ``--trace`` reports show per-chain anneal spans.
+    set_active_tracer(engine.tracer)
     return circuit, config, store, engine
 
 

@@ -69,6 +69,17 @@ class ExecutionBackend(ABC):
         """Degree of parallelism the backend dispatches to."""
         return 1
 
+    @property
+    def shares_memory(self) -> bool:
+        """Whether workers see the caller's address space.
+
+        True for serial and thread dispatch — tasks can carry live objects
+        (prebuilt panel states) for free.  Process backends return False,
+        which routes large payloads onto explicit shared-memory exports
+        (:mod:`repro.sino.shared`) instead of per-task pickles.
+        """
+        return True
+
     @abstractmethod
     def submit_batch(
         self, fn: Callable[[Any], Any], chunks: Sequence[List[Any]]
@@ -183,6 +194,10 @@ class ProcessBackend(_PooledBackend):
 
     name = "process"
     _executor_factory = ProcessPoolExecutor
+
+    @property
+    def shares_memory(self) -> bool:
+        return False
 
 
 def create_backend(name: str, workers: Optional[int] = None) -> ExecutionBackend:

@@ -58,16 +58,17 @@ class PanelTask:
         ``"sino"`` (shield insertion + net ordering) or ``"ordering"``.
     effort:
         One of :data:`repro.sino.anneal.EFFORT_LEVELS` (``"greedy"``,
-        ``"anneal"``, ``"anneal-fast"`` or ``"portfolio"``); forwarded to the
-        SINO solver.
+        ``"anneal"``, ``"anneal-fast"``, ``"anneal-batched"`` or
+        ``"portfolio"``); forwarded to the SINO solver.
     seed:
         Per-task seed of the stochastic annealing efforts.  ``None`` keeps
         the schedule's own seed (the serial reference behaviour).
     anneal:
         Annealing schedule override for the annealing efforts, including the
-        chain count of multi-chain search; ``None`` uses the solver's
-        default schedule.  Both the effort and the chain count are part of
-        the task signature, so changing either can never reuse a stale
+        chain count of multi-chain search and the batched evaluation width
+        (``batch_k``); ``None`` uses the solver's default schedule.  The
+        effort, the chain count and the batch width are all part of the
+        task signature, so changing any of them can never reuse a stale
         cached layout.
     """
 

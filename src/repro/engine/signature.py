@@ -23,9 +23,9 @@ A signature covers everything that can influence the solution:
 * the default bound and the track capacity,
 * the Keff model parameters,
 * the solver (``"sino"`` / ``"ordering"``), the effort level, the per-task
-  seed and the full annealing schedule including its chain count — so raising
-  ``AnnealConfig.chains`` or switching effort levels can never hit a stale
-  cached layout.
+  seed and the full annealing schedule including its chain count and batched
+  evaluation width — so raising ``AnnealConfig.chains``, changing ``batch_k``
+  or switching effort levels can never hit a stale cached layout.
 
 Phase III mutates bounds via :meth:`SinoProblem.with_bounds`; because the
 bounds are part of the signature, a tightened or relaxed panel can never hit
@@ -46,8 +46,9 @@ if TYPE_CHECKING:  # the grid layer sits below the engine; import only for types
 
 #: Signature scheme version; bump when the token layout changes so persisted
 #: caches (if any) cannot return solutions hashed under an older scheme.
-#: Version 2 added the chain count to the annealing-schedule token.
-SIGNATURE_VERSION = 2
+#: Version 2 added the chain count to the annealing-schedule token; version 3
+#: added the batched-evaluation width (``batch_k``).
+SIGNATURE_VERSION = 3
 
 #: Version of the *stage* signature scheme (instance token + stage token
 #: layout).  Bump whenever either token layout changes so persisted stage
@@ -116,6 +117,7 @@ def _anneal_token(anneal: Optional[AnnealConfig]) -> str:
             _float_token(anneal.overflow_weight),
             str(anneal.seed),
             str(anneal.chains),
+            str(anneal.batch_k),
         )
     )
 

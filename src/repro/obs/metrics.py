@@ -173,6 +173,29 @@ class MetricsRegistry:
             return dict(sorted(snapshot.items()))
 
 
+#: Lazily created default registry shared by solver hot paths (see
+#: :func:`process_registry`).
+_PROCESS_REGISTRY: Optional[MetricsRegistry] = None
+_PROCESS_REGISTRY_LOCK = threading.Lock()
+
+
+def process_registry() -> MetricsRegistry:
+    """The process-wide default registry.
+
+    Deep call sites with no registry parameter (the anneal chain loop)
+    record here; owners of an event log (cluster workers) fold the snapshot
+    into their own ``metrics`` events so the counters reach the fleet view.
+    Each worker process — including pool workers — gets its own instance on
+    first use.
+    """
+    global _PROCESS_REGISTRY
+    if _PROCESS_REGISTRY is None:
+        with _PROCESS_REGISTRY_LOCK:
+            if _PROCESS_REGISTRY is None:
+                _PROCESS_REGISTRY = MetricsRegistry()
+    return _PROCESS_REGISTRY
+
+
 def merge_snapshots(
     snapshots: Iterable[Dict[str, Dict[str, object]]],
 ) -> Dict[str, Dict[str, object]]:
@@ -280,6 +303,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "process_registry",
     "merge_snapshots",
     "fleet_metrics_from_events",
     "snapshot_percentile",

@@ -187,4 +187,27 @@ def maybe_span(tracer: Optional[Tracer], name: str, **counters: float) -> Iterat
         yield span
 
 
-__all__ = ["Span", "Tracer", "maybe_span"]
+#: The process's ambient tracer, for deep call sites (the anneal chain loop)
+#: that have no tracer parameter threaded to them.  ``None`` keeps those
+#: sites on the free ``maybe_span(None, ...)`` path.
+_ACTIVE_TRACER: Optional[Tracer] = None
+
+
+def set_active_tracer(tracer: Optional[Tracer]) -> None:
+    """Install (or clear, with ``None``) the process-ambient tracer.
+
+    The CLI sets this alongside the engine's explicit tracer when
+    ``--trace`` is given; spans opened against it by worker threads nest
+    under whatever the thread already has open, exactly like any shared
+    :class:`Tracer`.
+    """
+    global _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The process-ambient tracer installed by :func:`set_active_tracer`."""
+    return _ACTIVE_TRACER
+
+
+__all__ = ["Span", "Tracer", "maybe_span", "set_active_tracer", "active_tracer"]

@@ -73,7 +73,7 @@ from repro.engine.cache import SolutionCache
 from repro.engine.panels import Engine
 from repro.obs.aggregate import MergedEventCursor
 from repro.obs.events import EventLog
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, fleet_metrics_from_events, process_registry
 from repro.service.daemon import (
     STALE_HEARTBEAT_SECONDS,
     _round_latency,
@@ -822,6 +822,12 @@ class ClusterWorker:
             self.metrics.gauge("cache.misses").set(stats.misses)
             self.metrics.gauge("cache.store_hits").set(stats.store_hits)
             self.store.persist_stats()
+            # The solver hot paths (the anneal chain loop, shm attaches)
+            # record into the process-wide default registry; fold that
+            # snapshot in so the fleet view includes them, with the
+            # worker's own instruments winning any name collision.
+            snapshot = process_registry().snapshot()
+            snapshot.update(self.metrics.snapshot())
             # The nonce keys this process generation: aggregation sums
             # snapshots across generations of a reused writer label instead
             # of keeping only the latest (see fleet_metrics_from_events).
@@ -829,7 +835,7 @@ class ClusterWorker:
                 "metrics",
                 worker=self.identity.worker_id,
                 nonce=self.events.nonce,
-                metrics=self.metrics.snapshot(),
+                metrics=snapshot,
             )
 
     # -- main loop ------------------------------------------------------------------
@@ -1170,6 +1176,10 @@ class LoadgenReport:
     wall_seconds: float = 0.0
     latencies: List[float] = field(default_factory=list)
     spool_check: Optional[Dict[str, object]] = None
+    #: Mean annealing step rate over the fleet's ``metrics`` events
+    #: (``anneal.steps`` / ``anneal.seconds``); ``None`` when the burst ran
+    #: no annealing work (or the workers emitted no metrics yet).
+    anneal_steps_per_s: Optional[float] = None
 
     @property
     def throughput(self) -> float:
@@ -1195,6 +1205,9 @@ class LoadgenReport:
             "latency_p90": self.latency_percentile(0.90),
             "latency_p99": self.latency_percentile(0.99),
             "latency_max": max(self.latencies) if self.latencies else None,
+            "anneal_steps_per_s": (
+                None if self.anneal_steps_per_s is None else round(self.anneal_steps_per_s, 1)
+            ),
         }
         if self.spool_check is not None:
             payload["spool_check"] = self.spool_check
@@ -1284,9 +1297,13 @@ def run_loadgen(
         report.wall_seconds = time.perf_counter() - start
         return report
     pending = {job.job_id: job for job in submitted}
+    metrics_records: List[Dict[str, object]] = []
     deadline = time.monotonic() + timeout
     while pending and time.monotonic() < deadline:
         for record in cursor.poll():
+            if record.get("event") == "metrics":
+                metrics_records.append(record)
+                continue
             if record.get("event") not in ("released", "reclaimed"):
                 continue
             job_id = record.get("job")
@@ -1313,6 +1330,16 @@ def run_loadgen(
             time.sleep(poll)
     report.timed_out = len(pending)
     report.wall_seconds = time.perf_counter() - start
+    # The last metrics snapshot rides the forced heartbeat *after* the final
+    # release event, so drain the cursor once more before aggregating.
+    for record in cursor.poll():
+        if record.get("event") == "metrics":
+            metrics_records.append(record)
+    merged, _ = fleet_metrics_from_events(metrics_records)
+    steps = float(merged.get("anneal.steps", {}).get("value", 0.0))
+    seconds = float(merged.get("anneal.seconds", {}).get("value", 0.0))
+    if seconds > 0.0:
+        report.anneal_steps_per_s = steps / seconds
     if verify:
         report.spool_check = _loadgen_spool_check(root, submitted)
     return report
@@ -1367,6 +1394,8 @@ def format_loadgen_report(report: LoadgenReport) -> List[str]:
             f"latency p50={p50:.2f}s p90={p90:.2f}s p99={p99:.2f}s "
             f"max={max(report.latencies):.2f}s"
         )
+    if report.anneal_steps_per_s is not None:
+        lines.append(f"loadgen: mean anneal step rate {report.anneal_steps_per_s:.0f} steps/s")
     if report.spool_check is not None:
         check = report.spool_check
         lines.append(

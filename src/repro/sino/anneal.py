@@ -30,30 +30,48 @@ CLI ``--effort`` / ``--chains`` flags) select how hard each panel is solved:
 * ``"anneal"`` — greedy + simulated annealing (``AnnealConfig.chains``
   independent chains when > 1),
 * ``"anneal-fast"`` — annealing on a quarter-length schedule,
+* ``"anneal-batched"`` — best-of-K batched move evaluation at the same
+  total evaluation budget (:func:`repro.sino.batched.anneal_sino_batched`;
+  ``AnnealConfig.batch_k`` / ``--batch-k`` pick K),
 * ``"portfolio"`` — the greedy solution plus ``chains`` annealing chains,
   reduced to the best feasible candidate.
 
 Multi-chain search derives one seed per chain (chain 0 keeps the configured
 seed, so ``chains=1`` reproduces the single-chain results exactly) and can be
 dispatched over any :class:`~repro.engine.backends.ExecutionBackend` passed by
-the caller; the reduction is deterministic regardless of the backend.
+the caller; the reduction is deterministic regardless of the backend.  The
+greedy construction and the initial array-bundle build are hoisted out of the
+per-chain loop: in-process chains clone one shared
+:class:`~repro.sino.incremental.IncrementalPanelState` (and share its
+evaluation memo), while process backends receive the bundle through
+:mod:`repro.sino.shared` shared-memory segments instead of pickled arrays.
 """
 
 from __future__ import annotations
 
+import copy
 import math
+import time
 from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import process_registry
+from repro.obs.trace import active_tracer, maybe_span
 from repro.sino.greedy import greedy_sino
 from repro.sino.incremental import IncrementalPanelState, Move
 from repro.sino.panel import SHIELD, SinoProblem, SinoSolution
 
 #: Effort levels accepted by :func:`solve_min_area_sino` (and, transitively,
 #: ``GsinoConfig.sino_effort``, ``PanelTask.effort`` and the CLI ``--effort``).
-EFFORT_LEVELS: Tuple[str, ...] = ("greedy", "anneal", "anneal-fast", "portfolio")
+EFFORT_LEVELS: Tuple[str, ...] = (
+    "greedy",
+    "anneal",
+    "anneal-fast",
+    "anneal-batched",
+    "portfolio",
+)
 
 #: Schedule-length divisor of the ``"anneal-fast"`` effort level.
 ANNEAL_FAST_DIVISOR = 4
@@ -84,6 +102,13 @@ class AnnealConfig:
         itself (so ``chains=1`` is exactly the single-chain search); every
         further chain derives its own seed via :func:`derive_chain_seed`.
         The best feasible chain result wins.
+    batch_k:
+        Candidates scored per temperature step by the ``"anneal-batched"``
+        effort level (:func:`repro.sino.batched.anneal_sino_batched`).
+        ``iterations`` still counts total candidate evaluations, so any
+        ``batch_k`` does the same amount of evaluation work; ``batch_k=1``
+        reproduces :func:`anneal_sino` bit-identically.  Ignored by the
+        other effort levels.
     """
 
     iterations: int = 1500
@@ -95,6 +120,7 @@ class AnnealConfig:
     overflow_weight: float = 5.0
     seed: int = 0
     chains: int = 1
+    batch_k: int = 8
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -105,6 +131,8 @@ class AnnealConfig:
             raise ValueError("final_temperature must not exceed initial_temperature")
         if self.chains < 1:
             raise ValueError(f"chains must be >= 1, got {self.chains}")
+        if self.batch_k < 1:
+            raise ValueError(f"batch_k must be >= 1, got {self.batch_k}")
 
     def temperature_at(self, step: int) -> float:
         """Geometric cooling schedule evaluated at a step index."""
@@ -195,6 +223,7 @@ def anneal_sino(
     problem: SinoProblem,
     initial: Optional[SinoSolution] = None,
     config: Optional[AnnealConfig] = None,
+    state: Optional[IncrementalPanelState] = None,
 ) -> SinoSolution:
     """Anneal a SINO layout, returning the best feasible layout encountered.
 
@@ -206,11 +235,16 @@ def anneal_sino(
     accepted layout is only compacted and scored against the incumbent when
     a cheap bound says compaction could actually beat it — both of which
     leave the results bit-identical to :func:`anneal_sino_reference`.
+
+    ``state`` optionally supplies a prebuilt panel state over the initial
+    layout (the multi-chain fan-out builds one and clones it per chain); the
+    caller guarantees it matches ``initial``.
     """
     config = config or AnnealConfig()
     rng = np.random.default_rng(config.seed)
     current = (initial or greedy_sino(problem)).copy()
-    state = IncrementalPanelState(problem, current.layout, config)
+    if state is None:
+        state = IncrementalPanelState(problem, current.layout, config)
     current_cost = state.cost
     best = current.compact()
     best_cost = solution_cost(best, config)
@@ -219,32 +253,42 @@ def anneal_sino(
     # revisiting the same layouts once the temperature drops.
     compact_cache: dict = {}
 
-    for step in range(config.iterations):
-        temperature = config.temperature_at(step)
-        delta = state.propose(_sample_move(state, rng))
-        if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
-            current_cost = state.commit()
-            # An invalid layout stays invalid under compaction, so unless the
-            # bound says the compacted cost could undercut the incumbent there
-            # is nothing to learn from compacting (the historic implementation
-            # compacted and re-scored after *every* accepted move).
-            if state.is_current_valid() or (
-                current_cost - _compact_gain_bound(state, config) < best_cost
-            ):
-                key = state.layout_key()
-                cached = compact_cache.get(key)
-                if cached is None:
-                    cached = state.compacted()
-                    compact_cache[key] = cached
-                compacted, compacted_cost, compacted_valid = cached
-                if compacted_cost < best_cost:
-                    best = compacted
-                    best_cost = compacted_cost
-                if compacted_valid:
-                    if best_valid is None or compacted.num_shields < best_valid.num_shields:
-                        best_valid = compacted
-        else:
-            state.revert()
+    registry = process_registry()
+    started = time.perf_counter()
+    accepts = 0
+    with maybe_span(active_tracer(), "anneal.chain", batch_k=1) as span:
+        for step in range(config.iterations):
+            temperature = config.temperature_at(step)
+            delta = state.propose(_sample_move(state, rng))
+            if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+                current_cost = state.commit()
+                accepts += 1
+                # An invalid layout stays invalid under compaction, so unless
+                # the bound says the compacted cost could undercut the
+                # incumbent there is nothing to learn from compacting (the
+                # historic implementation compacted and re-scored after
+                # *every* accepted move).
+                if state.is_current_valid() or (
+                    current_cost - _compact_gain_bound(state, config) < best_cost
+                ):
+                    key = state.layout_key()
+                    cached = compact_cache.get(key)
+                    if cached is None:
+                        cached = state.compacted()
+                        compact_cache[key] = cached
+                    compacted, compacted_cost, compacted_valid = cached
+                    if compacted_cost < best_cost:
+                        best = compacted
+                        best_cost = compacted_cost
+                    if compacted_valid:
+                        if best_valid is None or compacted.num_shields < best_valid.num_shields:
+                            best_valid = compacted
+            else:
+                state.revert()
+        if span is not None:
+            span.add(steps=config.iterations, evals=config.iterations, accepts=accepts)
+    registry.counter("anneal.steps").inc(config.iterations)
+    registry.counter("anneal.seconds").inc(time.perf_counter() - started)
     return best_valid if best_valid is not None else best
 
 
@@ -330,13 +374,44 @@ def derive_chain_seed(seed: int, chain: int) -> int:
     return int(np.random.SeedSequence((seed, chain)).generate_state(1)[0])
 
 
-def _anneal_chain(task: Tuple[SinoProblem, Optional[List[Optional[int]]], AnnealConfig]):
-    """Run one annealing chain (module-level so process pools can pickle it)."""
-    problem, initial_layout, config = task
+def _anneal_chain(task: Tuple) -> SinoSolution:
+    """Run one annealing chain (module-level so process pools can pickle it).
+
+    ``task`` is ``(problem, initial_layout, config, algorithm, state)``;
+    ``state`` is a prebuilt (cloned) panel state on the in-process paths and
+    ``None`` when the chain must build its own.
+    """
+    problem, initial_layout, config, algorithm, state = task
     initial = None
     if initial_layout is not None:
         initial = SinoSolution(problem=problem, layout=list(initial_layout))
-    return anneal_sino(problem, initial=initial, config=config)
+    if algorithm == "batched":
+        from repro.sino.batched import anneal_sino_batched
+
+        return anneal_sino_batched(problem, initial=initial, config=config, state=state)
+    return anneal_sino(problem, initial=initial, config=config, state=state)
+
+
+def _anneal_chain_shm(task: Tuple) -> SinoSolution:
+    """Run one chain against a shared-memory panel export (process pools).
+
+    ``task`` is ``(handle, config, algorithm)`` — no arrays and no problem
+    object cross the pickle boundary; the worker attaches the exporting
+    process's segment (memoised per segment, so chunked chains attach once)
+    and rebuilds its private state from it.
+    """
+    from repro.sino.shared import attach_panel_state
+
+    handle, config, algorithm = task
+    state = attach_panel_state(handle, config)
+    initial = state.to_solution()
+    if algorithm == "batched":
+        from repro.sino.batched import anneal_sino_batched
+
+        return anneal_sino_batched(
+            state.problem, initial=initial, config=config, state=state
+        )
+    return anneal_sino(state.problem, initial=initial, config=config, state=state)
 
 
 def reduce_best_feasible(
@@ -363,21 +438,99 @@ def reduce_best_feasible(
     return best
 
 
+def _chain_config(template: AnnealConfig, seed: int) -> AnnealConfig:
+    """``template`` with only the seed swapped, skipping re-validation.
+
+    ``dataclasses.replace`` re-runs ``__init__`` (and ``__post_init__``
+    validation) per call; the fan-out derives one config per chain from an
+    already-validated template, so a field-level copy keeps chain setup O(1)
+    per chain.
+    """
+    if seed == template.seed:
+        return template
+    derived = copy.copy(template)
+    object.__setattr__(derived, "seed", seed)
+    return derived
+
+
 def _run_chains(
     problem: SinoProblem,
     initial: Optional[SinoSolution],
     config: AnnealConfig,
     backend: Optional[Any],
+    algorithm: str = "incremental",
 ) -> List[SinoSolution]:
-    """Run ``config.chains`` independent chains, optionally over a backend."""
-    layout = None if initial is None else list(initial.layout)
-    tasks = [
-        (problem, layout, replace(config, seed=derive_chain_seed(config.seed, chain), chains=1))
+    """Run ``config.chains`` independent chains, optionally over a backend.
+
+    The greedy construction and the initial array-bundle build happen once:
+    in-process execution (no backend, or a ``shares_memory`` backend) hands
+    each chain a clone of one shared state — the clones share the evaluation
+    memo — while process backends receive the bundle through a shared-memory
+    segment (:mod:`repro.sino.shared`) so no panel matrices are pickled.
+    Results are identical on every path.
+    """
+    template = config if config.chains == 1 else replace(config, chains=1)
+    base = initial if initial is not None else greedy_sino(problem)
+    layout = list(base.layout)
+    configs = [
+        _chain_config(template, derive_chain_seed(config.seed, chain))
         for chain in range(config.chains)
+    ]
+    in_process = (
+        backend is None or len(configs) == 1 or getattr(backend, "shares_memory", True)
+    )
+    if not in_process:
+        results = _run_chains_shared(problem, layout, template, configs, backend, algorithm)
+        if results is not None:
+            return results
+        # Shared memory unavailable (no /dev/shm, exotic platform): fall
+        # back to pickling the problem per chain, states rebuilt in-worker.
+        tasks = [(problem, layout, chain_config, algorithm, None) for chain_config in configs]
+        return backend.map_tasks(_anneal_chain, tasks)
+    base_state = IncrementalPanelState(problem, layout, template)
+    tasks = [
+        (
+            problem,
+            layout,
+            chain_config,
+            algorithm,
+            base_state if index == 0 else base_state.clone(),
+        )
+        for index, chain_config in enumerate(configs)
     ]
     if backend is None or len(tasks) == 1:
         return [_anneal_chain(task) for task in tasks]
     return backend.map_tasks(_anneal_chain, tasks)
+
+
+def _run_chains_shared(
+    problem: SinoProblem,
+    layout: List[Optional[int]],
+    template: AnnealConfig,
+    configs: List[AnnealConfig],
+    backend: Any,
+    algorithm: str,
+) -> Optional[List[SinoSolution]]:
+    """Fan chains over a process backend via one shared-memory export.
+
+    Returns ``None`` when the export cannot be created, letting the caller
+    fall back to the pickling path.  The segment outlives every chain —
+    ``map_tasks`` blocks until the batch drains — and is closed and
+    unlinked here regardless of chain outcome.
+    """
+    from repro.sino.shared import SharedPanelExport
+
+    base_state = IncrementalPanelState(problem, layout, template)
+    try:
+        export = SharedPanelExport(base_state)
+    except (OSError, ValueError):
+        return None
+    try:
+        tasks = [(export.handle, chain_config, algorithm) for chain_config in configs]
+        return backend.map_tasks(_anneal_chain_shm, tasks)
+    finally:
+        export.close()
+        export.unlink()
 
 
 def anneal_sino_multichain(
@@ -385,6 +538,7 @@ def anneal_sino_multichain(
     initial: Optional[SinoSolution] = None,
     config: Optional[AnnealConfig] = None,
     backend: Optional[Any] = None,
+    algorithm: str = "incremental",
 ) -> SinoSolution:
     """Run ``config.chains`` independent annealing chains and reduce.
 
@@ -392,9 +546,13 @@ def anneal_sino_multichain(
     (duck-typed to avoid a layering cycle — the engine imports this module);
     ``None`` runs the chains inline.  The result is identical for every
     backend, and ``chains=1`` reproduces :func:`anneal_sino` exactly.
+    ``algorithm="batched"`` runs each chain through
+    :func:`repro.sino.batched.anneal_sino_batched` instead.
     """
     config = config or AnnealConfig()
-    return reduce_best_feasible(_run_chains(problem, initial, config, backend), config)
+    return reduce_best_feasible(
+        _run_chains(problem, initial, config, backend, algorithm), config
+    )
 
 
 def _fast_schedule(config: Optional[AnnealConfig]) -> AnnealConfig:
@@ -421,6 +579,10 @@ def solve_min_area_sino(
       independent chains and keeps the best feasible result,
     * ``"anneal-fast"`` — annealing on a quarter-length cooling schedule,
       for sweeps that want improvement over greedy without the full budget,
+    * ``"anneal-batched"`` — the same evaluation budget as ``"anneal"``,
+      scored ``config.batch_k`` candidates at a time
+      (:func:`repro.sino.batched.anneal_sino_batched`); quality is asserted
+      >= the reference oracle by the test suite,
     * ``"portfolio"`` — the greedy solution plus ``config.chains`` annealing
       chains, reduced with :func:`reduce_best_feasible` (never worse than
       greedy, usually as good as the best chain).
@@ -430,10 +592,17 @@ def solve_min_area_sino(
     """
     if effort == "greedy":
         return greedy_sino(problem)
-    if effort in ("anneal", "anneal-fast"):
+    if effort in ("anneal", "anneal-fast", "anneal-batched"):
         schedule = _fast_schedule(config) if effort == "anneal-fast" else (config or AnnealConfig())
+        algorithm = "batched" if effort == "anneal-batched" else "incremental"
         if schedule.chains > 1:
-            return anneal_sino_multichain(problem, config=schedule, backend=backend)
+            return anneal_sino_multichain(
+                problem, config=schedule, backend=backend, algorithm=algorithm
+            )
+        if algorithm == "batched":
+            from repro.sino.batched import anneal_sino_batched
+
+            return anneal_sino_batched(problem, config=schedule)
         return anneal_sino(problem, config=schedule)
     if effort == "portfolio":
         schedule = config or AnnealConfig()

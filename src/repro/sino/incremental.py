@@ -173,6 +173,14 @@ class IncrementalPanelState:
         layout: Sequence[Optional[int]],
         config: "AnnealConfig",
     ) -> None:
+        self._init_derived(problem, config)
+        self._current = self._build_arrays(list(layout))
+        self._finish_init()
+
+    # -- construction ---------------------------------------------------------
+
+    def _init_derived(self, problem: SinoProblem, config: "AnnealConfig") -> None:
+        """Set every field derived from the problem/config pair alone."""
         self.problem = problem
         self.config = config
         evaluator = problem.evaluator()
@@ -188,7 +196,8 @@ class IncrementalPanelState:
         self._threshold_vector = np.array(self._thresholds)
         self._index = {segment: i for i, segment in enumerate(self._segments)}
 
-        self._current = self._build_arrays(list(layout))
+    def _finish_init(self) -> None:
+        """Evaluate ``self._current`` and reset the propose/commit machinery."""
         self._pending: Optional[_Arrays] = None
         self._pending_move: Optional[Move] = None
         self._has_pending = False
@@ -199,7 +208,21 @@ class IncrementalPanelState:
         # and an evaluation is a pure function of the layout.
         self._eval_cache = {self.layout_key(): self._state}
 
-    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls, problem: SinoProblem, config: "AnnealConfig", arrays: _Arrays
+    ) -> "IncrementalPanelState":
+        """A state over a prebuilt array bundle, skipping ``_build_arrays``.
+
+        The shared-memory attach path (:mod:`repro.sino.shared`) rebuilds the
+        bundle from exported buffers; the caller owns ``arrays`` and must not
+        reuse the bundle elsewhere.
+        """
+        state = object.__new__(cls)
+        state._init_derived(problem, config)
+        state._current = arrays
+        state._finish_init()
+        return state
 
     def _build_arrays(self, layout: List[Optional[int]]) -> _Arrays:
         evaluator = self.problem.evaluator()
@@ -262,7 +285,11 @@ class IncrementalPanelState:
         other._has_pending = False
         other._state = self._state
         other._pending_state = self._state
-        other._eval_cache = {self.layout_key(): self._state}
+        # Evaluations are pure functions of layout content for a fixed
+        # (problem, weights) pair, so the memo is shared — chains started
+        # from the same greedy layout reuse each other's evaluations instead
+        # of each deep-copying (and re-filling) a private dict.
+        other._eval_cache = self._eval_cache
         return other
 
     # -- queries --------------------------------------------------------------

@@ -1,0 +1,196 @@
+"""Shared-memory export/attach of panel states for process-backend chains.
+
+Multi-chain annealing over a process backend used to pickle the whole panel
+per chain: the problem object plus every ``(n, n)`` matrix of the freshly
+built :class:`~repro.sino.incremental.IncrementalPanelState`, once per
+chain task.  This module ships them across the process boundary exactly
+once instead:
+
+* :class:`SharedPanelExport` (parent side) packs the state's array bundle
+  and the pickled problem into one ``multiprocessing.shared_memory``
+  segment and hands out a :class:`SharedPanelHandle` — plain names, shapes
+  and offsets, a few hundred bytes however large the panel is.
+* :func:`attach_panel_state` (worker side) opens the segment by name,
+  copies the bundle into private memory (chains mutate their arrays, so a
+  private copy is needed regardless), and rebuilds a state via
+  :meth:`IncrementalPanelState.from_arrays`.  Attachments are memoised per
+  segment, so the chains a pool chunks onto one worker attach once and
+  clone from the cached template.
+
+Lifetime/cleanup rules: the exporting process owns the segment — it must
+keep the export open until every chain task has finished (the fan-out's
+``map_tasks`` call blocks, so this is structural) and then ``close()`` +
+``unlink()`` it.  Workers never unlink; they close their mapping as soon as
+the private copy exists, and each attach un-registers the segment from the
+worker's ``resource_tracker`` so a worker exiting early cannot destroy a
+segment it does not own (CPython registers *attached* segments for cleanup
+too — bpo-39959).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Tuple
+
+import numpy as np
+
+from repro.obs.metrics import process_registry
+from repro.sino.incremental import IncrementalPanelState, _Arrays
+from repro.sino.panel import SinoProblem
+
+#: Array fields of ``_Arrays`` shipped through the segment, in layout order.
+ARRAY_KEYS: Tuple[str, ...] = ("pos", "shields", "occ", "dist", "sb", "coupling", "adj")
+
+#: Attached-template memo size per worker process (segments come and go per
+#: multichain call; workers are long-lived, so the memo is bounded).
+ATTACH_CACHE_LIMIT = 4
+
+_ALIGNMENT = 16
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Placement of one array inside the segment (picklable, no buffers)."""
+
+    key: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedPanelHandle:
+    """Everything a worker needs to attach one exported panel state.
+
+    Carries names, offsets and scalar metadata only — pickling a handle
+    never serialises an array or the problem object.
+    """
+
+    name: str
+    specs: Tuple[SharedArraySpec, ...]
+    problem_offset: int
+    problem_size: int
+    cap: int
+
+
+class SharedPanelExport:
+    """One panel state packed into a shared-memory segment (parent side)."""
+
+    def __init__(self, state: IncrementalPanelState) -> None:
+        arrays = state._current
+        problem_blob = pickle.dumps(state.problem, protocol=pickle.HIGHEST_PROTOCOL)
+        sources = [
+            (key, np.ascontiguousarray(getattr(arrays, key))) for key in ARRAY_KEYS
+        ]
+        specs = []
+        offset = 0
+        for key, array in sources:
+            offset = _aligned(offset)
+            specs.append(
+                SharedArraySpec(
+                    key=key, offset=offset, shape=array.shape, dtype=str(array.dtype)
+                )
+            )
+            offset += array.nbytes
+        problem_offset = _aligned(offset)
+        total = problem_offset + len(problem_blob)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        for spec, (_, array) in zip(specs, sources):
+            destination = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=self._shm.buf, offset=spec.offset
+            )
+            destination[...] = array
+        self._shm.buf[problem_offset : problem_offset + len(problem_blob)] = problem_blob
+        self.handle = SharedPanelHandle(
+            name=self._shm.name,
+            specs=tuple(specs),
+            problem_offset=problem_offset,
+            problem_size=len(problem_blob),
+            cap=arrays.cap,
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment; only the exporting process calls this."""
+        self._shm.unlink()
+
+
+_ATTACH_CACHE: "OrderedDict[str, Tuple[_Arrays, SinoProblem]]" = OrderedDict()
+_ATTACH_LOCK = threading.Lock()
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Undo the resource tracker's claim on an *attached* segment.
+
+    CPython < 3.13 registers every ``SharedMemory(name=...)`` attach with
+    the resource tracker, which unlinks tracked segments when the process
+    exits — destroying a segment the exporting parent still owns.  Workers
+    therefore unregister right after attaching; the parent's own tracking
+    entry (from ``create=True``) is released by ``unlink()`` as usual.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+def _attached_template(handle: SharedPanelHandle) -> Tuple[_Arrays, SinoProblem]:
+    """The memoised ``(arrays, problem)`` template of one segment."""
+    with _ATTACH_LOCK:
+        cached = _ATTACH_CACHE.get(handle.name)
+        if cached is not None:
+            _ATTACH_CACHE.move_to_end(handle.name)
+            return cached
+    segment = shared_memory.SharedMemory(name=handle.name)
+    _untrack(segment)
+    try:
+        fields = {}
+        for spec in handle.specs:
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf, offset=spec.offset
+            )
+            fields[spec.key] = view.copy()
+        problem = pickle.loads(
+            bytes(segment.buf[handle.problem_offset : handle.problem_offset + handle.problem_size])
+        )
+    finally:
+        segment.close()
+    arrays = _Arrays(cap=handle.cap, **fields)
+    process_registry().counter("anneal.shm_attach").inc()
+    with _ATTACH_LOCK:
+        _ATTACH_CACHE[handle.name] = (arrays, problem)
+        while len(_ATTACH_CACHE) > ATTACH_CACHE_LIMIT:
+            _ATTACH_CACHE.popitem(last=False)
+    return arrays, problem
+
+
+def attach_panel_state(handle: SharedPanelHandle, config) -> IncrementalPanelState:
+    """A private :class:`IncrementalPanelState` rebuilt from an export.
+
+    Each call returns an independent state (chains mutate freely); the
+    underlying segment is only read — and only on the first attach per
+    segment in this process.
+    """
+    arrays, problem = _attached_template(handle)
+    return IncrementalPanelState.from_arrays(problem, config, arrays.copy())
+
+
+__all__ = [
+    "ARRAY_KEYS",
+    "ATTACH_CACHE_LIMIT",
+    "SharedArraySpec",
+    "SharedPanelHandle",
+    "SharedPanelExport",
+    "attach_panel_state",
+]

@@ -55,6 +55,7 @@ from repro.service import (
     service_status,
     submit_job,
 )
+from repro.service.cluster import format_loadgen_report
 
 # -- event log: basics ----------------------------------------------------------------
 
@@ -440,6 +441,27 @@ class TestSnapshots:
         payload = report.to_dict()
         assert payload["latency_p50"] <= payload["latency_p99"] <= payload["latency_max"]
         assert abs(payload["latency_p50"] - check["latency_p50"]) < 0.5
+        # The smoke scenario is greedy-only: no anneal counters, no rate.
+        assert report.anneal_steps_per_s is None
+        assert "mean anneal step rate" not in "\n".join(format_loadgen_report(report))
+
+    def test_loadgen_reports_anneal_step_rate_for_annealed_scenarios(self, tmp_path):
+        root = tmp_path / "svc"
+        worker = ClusterWorker(WorkerConfig(root=root, poll_interval=0.02, lease_ttl=5.0))
+        thread = threading.Thread(target=worker.run, kwargs={"idle_exit": 0.5})
+        thread.start()
+        try:
+            report = run_loadgen(root, "dense-bus", jobs=2, timeout=60.0, poll=0.05)
+        finally:
+            thread.join()
+        assert report.done == 2
+        # dense-bus anneals its panels, so the workers' anneal.steps /
+        # anneal.seconds counters reach the metrics snapshots and the report
+        # derives a mean step rate from the merged fleet view.
+        assert report.anneal_steps_per_s is not None
+        assert report.anneal_steps_per_s > 0.0
+        assert report.to_dict()["anneal_steps_per_s"] == round(report.anneal_steps_per_s, 1)
+        assert "mean anneal step rate" in "\n".join(format_loadgen_report(report))
 
 
 # -- CLI verbs ------------------------------------------------------------------------

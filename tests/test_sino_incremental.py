@@ -218,7 +218,13 @@ class TestMultiChain:
 
 class TestEffortLevels:
     def test_effort_levels_constant(self):
-        assert EFFORT_LEVELS == ("greedy", "anneal", "anneal-fast", "portfolio")
+        assert EFFORT_LEVELS == (
+            "greedy",
+            "anneal",
+            "anneal-fast",
+            "anneal-batched",
+            "portfolio",
+        )
 
     def test_anneal_fast_runs_quarter_schedule_and_stays_valid(self):
         problem = make_random_sino_problem(8, 0.5, 0.9, seed=10)
