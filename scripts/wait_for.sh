@@ -9,7 +9,9 @@
 # attempts, for at most --timeout seconds.  On success it prints the
 # attempt count and exits 0.  On timeout it prints a diagnosis and — when
 # --root was given — dumps the tail of that service root's event log via
-# `repro events --tail`, then exits 1.  This replaces unbounded
+# `repro events --tail`; when REPRO_GATEWAY_URL is set it also probes the
+# gateway's /healthz so gateway-smoke failures are diagnosable from the
+# log artifact alone.  Then exits 1.  This replaces unbounded
 # `wait $PID` / ad-hoc `sleep` polling in the smoke jobs: a wedged fleet
 # now fails the job in minutes with the event log attached instead of
 # hanging until the runner is reaped.
@@ -88,5 +90,10 @@ if [ -n "$root" ]; then
             tail -n 20 "$log" >&2 || true
         fi
     done
+fi
+if [ -n "${REPRO_GATEWAY_URL:-}" ]; then
+    echo "wait_for.sh: gateway health at ${REPRO_GATEWAY_URL}/healthz:" >&2
+    curl -fsS --max-time 5 "${REPRO_GATEWAY_URL}/healthz" >&2 \
+        || echo "wait_for.sh: gateway health probe failed (gateway down or unreachable)" >&2
 fi
 exit 1

@@ -49,6 +49,13 @@ liveness, leases and throughput, and ``loadgen`` measures the fleet::
     python -m repro.cli loadgen --root svc --scenario dense-bus --jobs 24 --verify
     python -m repro.cli status  --root svc --cluster
 
+``gateway`` serves the same spool to remote clients over HTTP/JSON with
+per-client rate limits, a bounded admission queue and micro-batched spool
+writes; ``loadgen --http`` drives it with concurrent clients::
+
+    python -m repro.cli gateway --root svc --port 8750 --rate 50 --burst 100 &
+    python -m repro.cli loadgen --http http://127.0.0.1:8750 --jobs 24 --clients 4
+
 Every lifecycle transition is appended to the root's event log; ``events``
 tails it and ``metrics`` aggregates the fleet's snapshots (see DESIGN.md
 §"Observability layer")::
@@ -118,6 +125,12 @@ from repro.service import (
     wait_for_job,
 )
 from repro.service.cluster import format_loadgen_report
+from repro.service.gateway import (
+    GatewayConfig,
+    format_http_loadgen_report,
+    run_gateway,
+    run_http_loadgen,
+)
 from repro.service.store import read_cumulative_store_stats
 from repro.sino.anneal import EFFORT_LEVELS, AnnealConfig
 
@@ -399,7 +412,28 @@ def _add_loadgen_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser(
         "loadgen", help="submit a burst of scenario jobs and report latency/throughput"
     )
-    _add_root_argument(parser)
+    # --root is validated in the handler: --http bursts drive a remote
+    # gateway over the wire and never touch the spool directly.
+    _add_root_argument(parser, required=False)
+    parser.add_argument(
+        "--http",
+        default=None,
+        metavar="URL",
+        help="drive a live `repro gateway` at URL with concurrent HTTP "
+        "clients instead of writing the spool directly",
+    )
+    parser.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="concurrent HTTP client connections (--http mode only)",
+    )
+    parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="give up on a 429 instead of honouring Retry-After (--http mode)",
+    )
     parser.add_argument("--scenario", default="smoke", help="registered scenario name")
     parser.add_argument(
         "--jobs", type=_positive_int, default=12, help="burst size (distinct derived seeds)"
@@ -431,6 +465,55 @@ def _add_loadgen_parser(subparsers: argparse._SubParsersAction) -> None:
         "--verify",
         action="store_true",
         help="cross-check the event-log report against a spool scan",
+    )
+
+
+def _add_gateway_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "gateway", help="serve the HTTP/JSON front door over a service root"
+    )
+    _add_root_argument(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (0 picks a free one; the bound port is printed)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=_positive_float,
+        default=50.0,
+        metavar="PER_SECOND",
+        help="per-client token-bucket refill rate",
+    )
+    parser.add_argument(
+        "--burst",
+        type=_positive_float,
+        default=100.0,
+        metavar="TOKENS",
+        help="per-client token-bucket capacity",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="bounded admission queue size (overflow answers 429)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="spool-write micro-batch size cap",
+    )
+    parser.add_argument(
+        "--batch-delay",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="max time an admitted submission waits for its batch to fill",
     )
 
 
@@ -526,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_submit_parser(subparsers)
     _add_status_parser(subparsers)
     _add_loadgen_parser(subparsers)
+    _add_gateway_parser(subparsers)
     _add_events_parser(subparsers)
     _add_metrics_parser(subparsers)
     _add_watch_parser(subparsers)
@@ -799,6 +883,10 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_loadgen(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _run_http_loadgen(args)
+    if args.root is None:
+        raise SystemExit("loadgen needs --root DIR (or --http URL for a live gateway)")
     try:
         report = run_loadgen(
             args.root,
@@ -819,6 +907,58 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     if args.no_wait:
         return 0
     return 0 if report.done == report.submitted else 1
+
+
+def _run_http_loadgen(args: argparse.Namespace) -> int:
+    if args.verify:
+        raise SystemExit("--verify needs spool access; it cannot be combined with --http")
+    try:
+        report = run_http_loadgen(
+            args.http,
+            scenario=args.scenario,
+            jobs=args.jobs,
+            clients=args.clients,
+            params=_parse_params(args.param),
+            priority=args.priority,
+            max_attempts=args.max_attempts,
+            timeout=args.timeout,
+            wait=not args.no_wait,
+            retry_429=not args.no_retry,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"loadgen rejected: {message}") from None
+    for line in format_http_loadgen_report(report):
+        print(line)
+    if report.errors:
+        return 1
+    if args.no_wait:
+        return 0 if report.admitted == report.attempted else 1
+    return 0 if report.done == report.admitted == report.attempted else 1
+
+
+def _run_gateway(args: argparse.Namespace) -> int:
+    config = GatewayConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        burst=args.burst,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        batch_delay=max(0.0, args.batch_delay),
+    )
+    counters = run_gateway(config)
+    admitted = counters.get("gateway.admitted", 0)
+    rejected = counters.get("gateway.rejected.rate", 0) + counters.get(
+        "gateway.rejected.queue", 0
+    )
+    print(
+        f"gateway stopped: {counters.get('gateway.requests', 0)} requests, "
+        f"{admitted} admitted in {counters.get('gateway.batches', 0)} batches, "
+        f"{rejected} rejected"
+    )
+    return 0
 
 
 def _run_submit(args: argparse.Namespace) -> int:
@@ -902,6 +1042,26 @@ def _render_status(report: Dict[str, object]) -> str:
     store = report["store"]
     if store is not None:
         lines.append(f"store: {store['entries']} entries, {store['bytes']} bytes")
+    gateway = report.get("gateway")
+    if gateway is not None:
+        heartbeat = gateway.get("heartbeat") or {}
+        counters = heartbeat.get("counters") or {}
+        queue = heartbeat.get("queue") or {}
+        if gateway.get("alive"):
+            lines.append(
+                f"gateway: listening on {heartbeat.get('host')}:{heartbeat.get('port')} "
+                f"(pid {heartbeat.get('pid')}, heartbeat {gateway.get('heartbeat_age', 0.0):.1f}s "
+                f"ago, queue {queue.get('depth', 0)}/{queue.get('capacity', 0)})"
+            )
+        else:
+            lines.append("gateway: not running")
+        lines.append(
+            f"gateway traffic: requests={counters.get('gateway.requests', 0)} "
+            f"admitted={counters.get('gateway.admitted', 0)} "
+            f"rejected_rate={counters.get('gateway.rejected.rate', 0)} "
+            f"rejected_queue={counters.get('gateway.rejected.queue', 0)} "
+            f"batches={counters.get('gateway.batches', 0)}"
+        )
     return "\n".join(lines)
 
 
@@ -1073,6 +1233,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": _run_submit,
         "status": _run_status,
         "loadgen": _run_loadgen,
+        "gateway": _run_gateway,
         "events": _run_events,
         "metrics": _run_metrics,
         "watch": _run_watch,

@@ -134,6 +134,22 @@ class ClusterSnapshot:
 
 
 @dataclass
+class GatewaySnapshot:
+    """Liveness of the root's HTTP gateway (``gateway.json`` heartbeat)."""
+
+    alive: bool = False
+    heartbeat_age: Optional[float] = None
+    heartbeat: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "alive": self.alive,
+            "heartbeat_age": self.heartbeat_age,
+            "heartbeat": self.heartbeat,
+        }
+
+
+@dataclass
 class StoreSnapshot:
     """Persistent result-store footprint (blob files on disk)."""
 
@@ -151,7 +167,9 @@ class ServiceSnapshot:
     ``health`` is the opt-in fleet-health section (``collect(...,
     with_health=True)``); it stays ``None`` — and *absent* from
     ``to_dict`` — by default, so the historical ``service_status`` JSON
-    shape is preserved for every pre-health consumer.
+    shape is preserved for every pre-health consumer.  ``gateway``
+    follows the same rule: present only on roots where a gateway has
+    ever written its ``gateway.json`` heartbeat.
     """
 
     root: str
@@ -162,6 +180,7 @@ class ServiceSnapshot:
     store: Optional[StoreSnapshot] = None
     cluster: Optional[ClusterSnapshot] = None
     health: Optional["FleetHealth"] = None
+    gateway: Optional[GatewaySnapshot] = None
 
     def to_dict(self) -> Dict[str, object]:
         """The historical ``service_status`` JSON shape, unchanged."""
@@ -175,6 +194,8 @@ class ServiceSnapshot:
         }
         if self.health is not None:
             payload["health"] = self.health.to_dict()
+        if self.gateway is not None:
+            payload["gateway"] = self.gateway.to_dict()
         return payload
 
     @classmethod
@@ -241,7 +262,31 @@ class ServiceSnapshot:
             store=store,
             cluster=collect_cluster(root),
             health=health,
+            gateway=collect_gateway(root),
         )
+
+
+def collect_gateway(root: Union[str, Path]) -> Optional[GatewaySnapshot]:
+    """Gateway snapshot, or ``None`` on roots no gateway ever served.
+
+    Gateway heartbeats carry ``poll_interval`` (the heartbeat cadence), so
+    the daemon's ``heartbeat_is_fresh`` liveness rule applies unchanged.
+    """
+    root = Path(root)
+    try:
+        heartbeat = json.loads((root / "gateway.json").read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(heartbeat, dict):
+        return None
+    # Lazy import — see module docstring.
+    from repro.service.daemon import heartbeat_is_fresh
+
+    return GatewaySnapshot(
+        alive=heartbeat_is_fresh(heartbeat),
+        heartbeat_age=max(0.0, time.time() - float(heartbeat.get("updated_at", 0.0))),
+        heartbeat=heartbeat,
+    )
 
 
 def collect_cluster(root: Union[str, Path]) -> Optional[ClusterSnapshot]:
@@ -350,9 +395,11 @@ __all__ = [
     "WorkerSnapshot",
     "LeaseSnapshot",
     "ClusterSnapshot",
+    "GatewaySnapshot",
     "StoreSnapshot",
     "ServiceSnapshot",
     "collect_cluster",
+    "collect_gateway",
     "job_statuses_from_events",
     "job_counts_from_events",
 ]

@@ -25,7 +25,10 @@ backends) builds on:
 * :mod:`repro.service.sharding` — the spool partitioning layer under both:
   :class:`SpoolLayout` maps job ids to hash-keyed shards (``--shards N``),
   with an in-place flat↔sharded migration and the work-stealing scan order
-  cluster workers drain it in.
+  cluster workers drain it in;
+* :mod:`repro.service.gateway` — the HTTP front door (``repro gateway``):
+  an asyncio JSON API that rate-limits, queues, and micro-batches remote
+  submissions into the same spool, with an HTTP mode for ``repro loadgen``.
 
 Every lifecycle transition in this layer (submit, claim, release, reclaim,
 cancel, gc, worker start/stop) is also appended to the root's event log
@@ -49,11 +52,21 @@ from repro.service.cluster import (
 from repro.service.daemon import (
     ServiceConfig,
     ServiceDaemon,
+    SubmitRequest,
     gc_service,
     request_cancel,
     service_status,
     submit_job,
+    submit_jobs,
     wait_for_job,
+)
+from repro.service.gateway import (
+    Gateway,
+    GatewayConfig,
+    GatewayRunner,
+    HttpLoadgenReport,
+    run_gateway,
+    run_http_loadgen,
 )
 from repro.service.queue import JOB_STATUSES, Job, JobQueue
 from repro.service.scenarios import (
@@ -115,9 +128,17 @@ __all__ = [
     "adopt_stray_records",
     "ServiceConfig",
     "ServiceDaemon",
+    "SubmitRequest",
     "submit_job",
+    "submit_jobs",
     "request_cancel",
     "wait_for_job",
     "service_status",
     "gc_service",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayRunner",
+    "HttpLoadgenReport",
+    "run_gateway",
+    "run_http_loadgen",
 ]

@@ -1,0 +1,715 @@
+"""Tests for the gateway tier (policy classes, batch submit, HTTP server, loadgen).
+
+The policy section is the tier-1 contract the ISSUE asks for: token-bucket
+refill/burst math, bounded-queue overflow ordering and batcher flush
+semantics, all with explicit clocks so nothing sleeps.  The socket-level
+section proves the properties that matter end-to-end: a rejected client's
+job never reaches the spool, admitted work is exactly-once in the spool
+and event log, and a stopping gateway flushes what it admitted.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.aggregate import iter_merged_events
+from repro.obs.events import EventLog
+from repro.obs.snapshot import collect_gateway
+from repro.service import (
+    ServiceConfig,
+    ServiceDaemon,
+    SubmitRequest,
+    service_status,
+    submit_job,
+    submit_jobs,
+)
+from repro.service.gateway import (
+    AdmissionQueue,
+    GatewayConfig,
+    GatewayRunner,
+    MicroBatcher,
+    TokenBucket,
+    TokenBucketTable,
+    format_http_loadgen_report,
+    run_http_loadgen,
+)
+from repro.service.gateway.loadgen import HttpLoadgenReport, _nearest_rank
+
+
+# -- token bucket ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_rejects(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.acquire(now=0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        # Bucket empty: the hint is exactly the time until one token refills.
+        assert bucket.acquire(now=0.0) == pytest.approx(1.0)
+
+    def test_rejection_consumes_nothing(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.acquire(now=0.0) == 0.0
+        first_hint = bucket.acquire(now=0.0)
+        assert first_hint == pytest.approx(0.5)
+        # Asking again at the same instant gives the same answer: rejected
+        # requests must not drain the bucket further.
+        assert bucket.acquire(now=0.0) == pytest.approx(0.5)
+
+    def test_refill_is_proportional_to_elapsed_time(self):
+        bucket = TokenBucket(rate=4.0, burst=8)
+        for _ in range(8):
+            assert bucket.acquire(now=10.0) == 0.0
+        # 0.75s at 4 tokens/s refills 3 tokens.
+        assert bucket.acquire(now=10.75) == 0.0
+        assert bucket.acquire(now=10.75) == 0.0
+        assert bucket.acquire(now=10.75) == 0.0
+        assert bucket.acquire(now=10.75) > 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        assert bucket.acquire(now=0.0) == 0.0
+        # An hour idle still holds only `burst` tokens.
+        assert bucket.acquire(now=3600.0) == 0.0
+        assert bucket.acquire(now=3600.0) == 0.0
+        assert bucket.acquire(now=3600.0) > 0.0
+
+    def test_retry_after_shrinks_as_time_passes(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        bucket.acquire(now=0.0)
+        assert bucket.acquire(now=0.0) == pytest.approx(1.0)
+        assert bucket.acquire(now=0.6) == pytest.approx(0.4)
+
+    def test_clock_going_backwards_is_tolerated(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.acquire(now=100.0) == 0.0
+        # A non-monotonic caller must not produce negative refill.
+        assert bucket.acquire(now=99.0) == pytest.approx(1.0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestTokenBucketTable:
+    def test_clients_have_independent_budgets(self):
+        table = TokenBucketTable(rate=1.0, burst=1)
+        assert table.acquire("alice", now=0.0) == 0.0
+        assert table.acquire("alice", now=0.0) > 0.0
+        assert table.acquire("bob", now=0.0) == 0.0
+
+    def test_lru_eviction_bounds_the_table(self):
+        table = TokenBucketTable(rate=1.0, burst=1, max_clients=2)
+        assert table.acquire("a", now=0.0) == 0.0
+        assert table.acquire("b", now=0.0) == 0.0
+        assert table.acquire("c", now=0.0) == 0.0  # evicts "a"
+        assert len(table) == 2
+        # "a" comes back with a fresh bucket (evicting "b"); "c" kept its
+        # drained one — the eviction reset only ever helps idle clients.
+        assert table.acquire("a", now=0.0) == 0.0
+        assert len(table) == 2
+        assert table.acquire("c", now=0.0) > 0.0
+
+    def test_recent_use_protects_against_eviction(self):
+        table = TokenBucketTable(rate=1.0, burst=2, max_clients=2)
+        table.acquire("a", now=0.0)
+        table.acquire("b", now=0.0)
+        table.acquire("a", now=0.0)  # refresh "a"; "b" is now LRU
+        table.acquire("c", now=0.0)  # evicts "b"
+        assert table.acquire("a", now=0.0) > 0.0  # drained bucket survived
+
+
+# -- admission queue -------------------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_overflow_rejects_without_queueing(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.offer("a") and queue.offer("b")
+        assert not queue.offer("c")
+        assert len(queue) == 2
+        assert queue.accepted == 2 and queue.rejected == 1
+
+    def test_take_preserves_fifo_order_across_overflow(self):
+        queue = AdmissionQueue(max_depth=3)
+        for item in ("a", "b", "c"):
+            assert queue.offer(item)
+        assert not queue.offer("d")
+        assert queue.take(limit=2) == ["a", "b"]
+        # Rejected "d" never entered; room freed, later arrivals go behind "c".
+        assert queue.offer("e")
+        assert queue.take() == ["c", "e"]
+        assert len(queue) == 0
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+
+# -- micro-batcher ---------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_flush_on_size(self):
+        batcher = MicroBatcher(max_batch=3, max_delay=60.0)
+        assert batcher.add("a", now=0.0) is None
+        assert batcher.add("b", now=0.0) is None
+        assert batcher.add("c", now=0.0) == ["a", "b", "c"]
+        assert len(batcher) == 0
+
+    def test_flush_on_deadline_uses_oldest_item_age(self):
+        batcher = MicroBatcher(max_batch=100, max_delay=0.5)
+        batcher.add("a", now=0.0)
+        batcher.add("b", now=0.4)  # newer item must not extend the deadline
+        assert batcher.poll(now=0.49) is None
+        assert batcher.poll(now=0.5) == ["a", "b"]
+        assert batcher.poll(now=1.0) is None  # empty again
+
+    def test_next_deadline_tracks_oldest_item(self):
+        batcher = MicroBatcher(max_batch=100, max_delay=2.0)
+        assert batcher.next_deadline() is None
+        batcher.add("a", now=10.0)
+        batcher.add("b", now=11.0)
+        assert batcher.next_deadline() == pytest.approx(12.0)
+        batcher.flush()
+        assert batcher.next_deadline() is None
+
+    def test_flush_counts_batches(self):
+        batcher = MicroBatcher(max_batch=2, max_delay=60.0)
+        batcher.add("a", now=0.0)
+        batcher.add("b", now=0.0)
+        batcher.add("c", now=0.0)
+        batcher.flush()
+        assert batcher.batches == 2  # the size flush and the manual flush
+        assert batcher.flush() == []
+        assert batcher.batches == 2  # empty flushes do not count
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=1, max_delay=-0.1)
+
+
+# -- batched submission ----------------------------------------------------------------
+
+
+class TestSubmitJobs:
+    def test_batch_writes_every_record_and_event(self, tmp_path):
+        requests = [SubmitRequest(scenario="smoke", params={"seed": i}) for i in range(3)]
+        jobs = submit_jobs(tmp_path, requests)
+        assert len(jobs) == 3
+        assert len({job.job_id for job in jobs}) == 3
+        records = sorted(path.stem for path in (tmp_path / "jobs").glob("*.json"))
+        assert records == sorted(job.job_id for job in jobs)
+        submitted = [e for e in iter_merged_events(tmp_path) if e["event"] == "submitted"]
+        assert sorted(e["job"] for e in submitted) == sorted(job.job_id for job in jobs)
+
+    def test_batch_events_use_the_callers_writer(self, tmp_path):
+        log = EventLog(tmp_path, writer="front-door")
+        submit_jobs(tmp_path, [SubmitRequest(scenario="smoke")], events=log)
+        (event,) = [e for e in iter_merged_events(tmp_path) if e["event"] == "submitted"]
+        assert event["writer"] == "front-door"
+
+    def test_invalid_request_rejects_the_whole_batch(self, tmp_path):
+        requests = [
+            SubmitRequest(scenario="smoke"),
+            SubmitRequest(scenario="no-such-scenario"),
+        ]
+        with pytest.raises(KeyError):
+            submit_jobs(tmp_path, requests)
+        assert not (tmp_path / "jobs").exists()  # nothing half-submitted
+
+    def test_duplicate_id_within_batch_rejects_before_writing(self, tmp_path):
+        requests = [
+            SubmitRequest(scenario="smoke", job_id="twin"),
+            SubmitRequest(scenario="smoke", job_id="twin"),
+        ]
+        with pytest.raises(ValueError, match="already exists"):
+            submit_jobs(tmp_path, requests)
+        assert not (tmp_path / "jobs").exists()
+
+    def test_duplicate_id_against_spool_rejects(self, tmp_path):
+        submit_job(tmp_path, "smoke", job_id="taken")
+        with pytest.raises(ValueError, match="'taken' already exists"):
+            submit_jobs(tmp_path, [SubmitRequest(scenario="smoke", job_id="taken")])
+
+    def test_submit_job_still_delegates(self, tmp_path):
+        job = submit_job(tmp_path, "smoke", params={"seed": 5}, priority=3)
+        assert (tmp_path / "jobs" / f"{job.job_id}.json").exists()
+        assert job.priority == 3
+
+
+# -- live server -----------------------------------------------------------------------
+
+
+def _gateway(tmp_path, submit_fn=None, **overrides):
+    defaults = dict(
+        root=tmp_path,
+        port=0,
+        rate=1000.0,
+        burst=1000.0,
+        batch_delay=0.01,
+        heartbeat_interval=0.2,
+    )
+    defaults.update(overrides)
+    return GatewayRunner(GatewayConfig(**defaults), submit_fn=submit_fn).start()
+
+
+def _request(port, method, path, payload=None, client=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        headers = {"Content-Type": "application/json"}
+        if client:
+            headers["X-Repro-Client"] = client
+        body = None if payload is None else json.dumps(payload)
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = response.read()
+        try:
+            parsed = json.loads(data)
+        except json.JSONDecodeError:
+            parsed = data.decode("utf-8", "replace")
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        connection.close()
+
+
+class TestGatewayServer:
+    def test_healthz_reports_queue_and_counters(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            status, _, payload = _request(runner.port, "GET", "/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["queue"]["capacity"] == 256
+            assert payload["counters"]["gateway.requests"] >= 1
+        finally:
+            runner.stop()
+
+    def test_submit_writes_spool_record_and_status_roundtrip(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            status, _, payload = _request(
+                runner.port, "POST", "/v1/jobs", {"scenario": "smoke", "priority": 2}
+            )
+            assert status == 202
+            job_id = payload["job_id"]
+            assert payload["status"] == "queued"
+            record = json.loads((tmp_path / "jobs" / f"{job_id}.json").read_text())
+            assert record["priority"] == 2
+            status, _, seen = _request(runner.port, "GET", f"/v1/jobs/{job_id}")
+            assert status == 200 and seen["status"] == "queued" and seen["terminal"] is False
+        finally:
+            runner.stop()
+
+    def test_bad_requests_get_4xx_not_spool_writes(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            cases = [
+                ("POST", "/v1/jobs", {"scenario": "no-such-scenario"}, 400),
+                ("POST", "/v1/jobs", {"scenario": "smoke", "params": {"bogus": 1}}, 400),
+                ("POST", "/v1/jobs", {"params": {}}, 400),
+                ("GET", "/v1/jobs/never-submitted", None, 404),
+                ("POST", "/v1/jobs/some-id", {"scenario": "smoke"}, 405),
+                ("GET", "/v1/nope", None, 404),
+            ]
+            for method, path, payload, expected in cases:
+                status, _, _ = _request(runner.port, method, path, payload)
+                assert status == expected, (method, path)
+            assert not list((tmp_path / "jobs").glob("*.json")) if (
+                tmp_path / "jobs"
+            ).exists() else True
+        finally:
+            runner.stop()
+
+    def test_scenarios_endpoint_lists_registry(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            status, _, payload = _request(runner.port, "GET", "/v1/scenarios")
+            assert status == 200
+            names = [entry["name"] for entry in payload["scenarios"]]
+            assert "smoke" in names
+        finally:
+            runner.stop()
+
+    def test_rate_limited_job_never_reaches_the_spool(self, tmp_path):
+        """The socket-level backpressure proof: 429 means zero spool bytes."""
+        runner = _gateway(tmp_path, rate=0.001, burst=2)
+        try:
+            statuses = []
+            for seed in range(4):
+                status, headers, payload = _request(
+                    runner.port,
+                    "POST",
+                    "/v1/jobs",
+                    {"scenario": "smoke", "params": {"seed": seed}},
+                    client="greedy",
+                )
+                statuses.append(status)
+                if status == 429:
+                    assert int(headers["Retry-After"]) >= 1
+                    assert "retry after" in payload["error"]
+            assert statuses == [202, 202, 429, 429]
+            # Exactly the two admitted jobs exist; the rejected ones left no trace.
+            assert len(list((tmp_path / "jobs").glob("*.json"))) == 2
+            rejected = [
+                e for e in iter_merged_events(tmp_path) if e["event"] == "gateway-rejected"
+            ]
+            assert len(rejected) == 2
+            assert {e["reason"] for e in rejected} == {"rate"}
+            assert all(e["client"] == "greedy" for e in rejected)
+        finally:
+            runner.stop()
+
+    def test_distinct_clients_have_distinct_budgets(self, tmp_path):
+        runner = _gateway(tmp_path, rate=0.001, burst=1)
+        try:
+            for name in ("c1", "c2", "c3"):
+                status, _, _ = _request(
+                    runner.port, "POST", "/v1/jobs", {"scenario": "smoke"}, client=name
+                )
+                assert status == 202
+            status, _, _ = _request(
+                runner.port, "POST", "/v1/jobs", {"scenario": "smoke"}, client="c1"
+            )
+            assert status == 429
+        finally:
+            runner.stop()
+
+    def test_full_admission_queue_answers_429_queue(self, tmp_path):
+        """Wedge the spool write; the bounded queue must reject, not grow."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_submit(root, requests, events=None):
+            started.set()
+            assert release.wait(timeout=30.0)
+            return submit_jobs(root, requests, events=events)
+
+        runner = _gateway(
+            tmp_path, submit_fn=slow_submit, queue_depth=2, batch_max=1, batch_delay=0.0
+        )
+        results = []
+
+        def post(seed):
+            results.append(
+                _request(
+                    runner.port,
+                    "POST",
+                    "/v1/jobs",
+                    {"scenario": "smoke", "params": {"seed": seed}},
+                    client=f"c{seed}",
+                )
+            )
+
+        try:
+            first = threading.Thread(target=post, args=(0,))
+            first.start()
+            assert started.wait(timeout=10.0)  # batch 1 is wedged in the executor
+            backlog = [threading.Thread(target=post, args=(seed,)) for seed in (1, 2)]
+            for thread in backlog:
+                thread.start()
+            deadline = time.monotonic() + 10.0
+            while len(runner.gateway.queue) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            status, headers, _ = _request(
+                runner.port, "POST", "/v1/jobs", {"scenario": "smoke"}, client="late"
+            )
+            assert status == 429
+            assert "Retry-After" in headers
+            release.set()
+            first.join(timeout=30.0)
+            for thread in backlog:
+                thread.join(timeout=30.0)
+            assert sorted(status for status, _, _ in results) == [202, 202, 202]
+            rejected = [
+                e for e in iter_merged_events(tmp_path) if e["event"] == "gateway-rejected"
+            ]
+            assert [e["reason"] for e in rejected] == ["queue"]
+        finally:
+            release.set()
+            runner.stop()
+
+    def test_concurrent_burst_is_batched_and_exactly_once(self, tmp_path):
+        runner = _gateway(tmp_path, batch_max=16, batch_delay=0.2)
+        try:
+            report = run_http_loadgen(runner.url, jobs=12, clients=4, wait=False)
+            assert report.admitted == 12 and report.errors == 0
+            records = sorted(path.stem for path in (tmp_path / "jobs").glob("*.json"))
+            assert records == sorted(report.job_ids)  # exactly-once, no extras
+            admitted_events = [
+                e for e in iter_merged_events(tmp_path) if e["event"] == "gateway-admitted"
+            ]
+            assert sorted(e["job"] for e in admitted_events) == records
+            # Micro-batching amortized the writes: far fewer batches than jobs.
+            assert runner.gateway.batcher.batches < 12
+        finally:
+            runner.stop()
+
+    def test_stop_flushes_admitted_submissions(self, tmp_path):
+        """An accepted 202 must never be lost to a graceful shutdown."""
+        runner = _gateway(tmp_path, batch_max=100, batch_delay=60.0)
+        responses = []
+
+        def post(seed):
+            responses.append(
+                _request(
+                    runner.port, "POST", "/v1/jobs", {"scenario": "smoke", "params": {"seed": seed}}
+                )
+            )
+
+        threads = [threading.Thread(target=post, args=(seed,)) for seed in range(2)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            depth = len(runner.gateway.queue) + len(runner.gateway.batcher)
+            if depth >= 2:
+                break
+            time.sleep(0.01)
+        runner.stop()  # graceful stop: final drain writes the wedged batch
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert [status for status, _, _ in responses] == [202, 202]
+        assert len(list((tmp_path / "jobs").glob("*.json"))) == 2
+
+    def test_event_stream_replays_job_history(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            _, _, payload = _request(runner.port, "POST", "/v1/jobs", {"scenario": "smoke"})
+            job_id = payload["job_id"]
+            ServiceDaemon(ServiceConfig(root=tmp_path, poll_interval=0.01)).run(
+                max_jobs=1, idle_exit=30.0
+            )
+            connection = http.client.HTTPConnection("127.0.0.1", runner.port, timeout=30)
+            try:
+                connection.request("GET", f"/v1/jobs/{job_id}/events?timeout=20")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Content-Type") == "application/x-ndjson"
+                lines = response.read().decode("utf-8").splitlines()
+            finally:
+                connection.close()
+            events = [json.loads(line)["event"] for line in lines if line.strip()]
+            assert events[0] == "submitted"
+            assert "claimed" in events
+            assert events[-1] == "released"  # terminal transition closes the stream
+        finally:
+            runner.stop()
+
+    def test_gateway_emits_lifecycle_events_and_metrics(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            _request(runner.port, "POST", "/v1/jobs", {"scenario": "smoke"})
+        finally:
+            runner.stop()
+        events = list(iter_merged_events(tmp_path))
+        names = [e["event"] for e in events]
+        assert "gateway-started" in names
+        assert "gateway-admitted" in names
+        assert names[-1] == "gateway-stopped"
+        metrics_events = [e for e in events if e["event"] == "metrics"]
+        assert metrics_events, "traffic must produce at least one metrics snapshot"
+        snapshot = metrics_events[-1]["metrics"]
+        assert snapshot["gateway.requests"]["value"] >= 1.0
+        assert snapshot["gateway.admitted"]["value"] == 1.0
+        assert "gateway.submit.seconds" in snapshot
+
+    def test_heartbeat_feeds_status_snapshot(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            _request(runner.port, "POST", "/v1/jobs", {"scenario": "smoke"})
+            snapshot = collect_gateway(tmp_path)
+            assert snapshot is not None and snapshot.alive
+            assert snapshot.heartbeat["port"] == runner.port
+            report = service_status(tmp_path)
+            assert report["gateway"]["alive"] is True
+        finally:
+            runner.stop()
+        report = service_status(tmp_path)
+        assert report["gateway"]["alive"] is False  # stopped heartbeat is not liveness
+        assert report["gateway"]["heartbeat"]["counters"]["gateway.admitted"] == 1
+
+    def test_roots_without_a_gateway_keep_the_historical_shape(self, tmp_path):
+        submit_job(tmp_path, "smoke")
+        report = service_status(tmp_path)
+        assert "gateway" not in report
+        assert collect_gateway(tmp_path) is None
+
+
+# -- HTTP loadgen ----------------------------------------------------------------------
+
+
+class TestHttpLoadgen:
+    def test_nearest_rank_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _nearest_rank(values, 0.50) == 50.0
+        assert _nearest_rank(values, 0.99) == 100.0
+        assert _nearest_rank(values, 1.0) == 100.0  # clamped to the max sample
+        assert _nearest_rank([], 0.5) is None
+
+    def test_report_dict_carries_submit_percentiles(self):
+        report = HttpLoadgenReport(url="http://x", scenario="smoke", clients=2)
+        report.attempted = 4
+        report.admitted = 4
+        report.submit_latencies = [0.010, 0.020, 0.030, 0.040]
+        report.wall_seconds = 2.0
+        payload = report.to_dict()
+        assert payload["submit_p50"] == 0.020
+        assert payload["submit_p99"] == 0.040
+        assert payload["submit_rate"] == 2.0
+
+    def test_over_rate_burst_sees_429_and_retries_to_completion(self, tmp_path):
+        runner = _gateway(tmp_path, rate=5.0, burst=1, batch_delay=0.0)
+        try:
+            report = run_http_loadgen(
+                runner.url, jobs=5, clients=1, wait=False, timeout=60.0
+            )
+            assert report.admitted == 5  # Retry-After obeyed until admitted
+            assert report.rejected_429 >= 1
+            assert report.retry_after_max >= 1.0
+            lines = "\n".join(format_http_loadgen_report(report))
+            assert "Retry-After" in lines
+        finally:
+            runner.stop()
+
+    def test_no_retry_mode_gives_up_on_429(self, tmp_path):
+        runner = _gateway(tmp_path, rate=0.001, burst=2)
+        try:
+            report = run_http_loadgen(
+                runner.url, jobs=6, clients=1, wait=False, retry_429=False
+            )
+            assert report.admitted == 2
+            assert report.rejected_429 == 4
+        finally:
+            runner.stop()
+
+    def test_wait_mode_polls_jobs_to_completion_over_http(self, tmp_path):
+        runner = _gateway(tmp_path)
+        daemon = ServiceDaemon(ServiceConfig(root=tmp_path, poll_interval=0.02))
+        worker = threading.Thread(
+            target=lambda: daemon.run(max_jobs=4, idle_exit=60.0), daemon=True
+        )
+        worker.start()
+        try:
+            report = run_http_loadgen(runner.url, jobs=4, clients=2, wait=True, timeout=120.0)
+            assert report.waited
+            assert report.done == 4 and report.timed_out == 0
+            lines = format_http_loadgen_report(report)
+            assert lines[0] == "http loadgen: 4 done, 0 failed, 0 cancelled of 4 admitted"
+            assert any("429 rejected: 0" in line for line in lines)
+        finally:
+            worker.join(timeout=120.0)
+            runner.stop()
+
+    def test_seeds_are_strided_across_the_burst(self, tmp_path):
+        runner = _gateway(tmp_path)
+        try:
+            run_http_loadgen(runner.url, jobs=6, clients=3, wait=False)
+            seeds = set()
+            for path in (tmp_path / "jobs").glob("*.json"):
+                seeds.add(json.loads(path.read_text())["params"]["seed"])
+            assert len(seeds) == 6  # distinct seeds -> no accidental cache collapse
+        finally:
+            runner.stop()
+
+
+# -- CLI wiring ------------------------------------------------------------------------
+
+
+class TestGatewayCli:
+    def test_gateway_parser_accepts_issue_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "gateway",
+                "--root",
+                "svc",
+                "--port",
+                "9000",
+                "--rate",
+                "10",
+                "--burst",
+                "20",
+                "--queue-depth",
+                "64",
+            ]
+        )
+        assert args.command == "gateway"
+        assert (args.port, args.rate, args.burst, args.queue_depth) == (9000, 10.0, 20.0, 64)
+
+    def test_loadgen_parser_accepts_http_mode(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["loadgen", "--http", "http://127.0.0.1:8750", "--jobs", "24", "--clients", "8"]
+        )
+        assert args.http == "http://127.0.0.1:8750"
+        assert args.clients == 8
+        assert args.root is None
+
+    def test_loadgen_requires_root_or_http(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--root"):
+            main(["loadgen", "--jobs", "2"])
+
+    def test_loadgen_http_rejects_verify(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="verify"):
+            main(["loadgen", "--http", "http://127.0.0.1:1", "--verify"])
+
+    def test_cli_loadgen_http_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runner = _gateway(tmp_path)
+        try:
+            code = main(
+                [
+                    "loadgen",
+                    "--http",
+                    runner.url,
+                    "--jobs",
+                    "4",
+                    "--clients",
+                    "2",
+                    "--no-wait",
+                ]
+            )
+        finally:
+            runner.stop()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "http loadgen: 4 admitted of 4 attempted" in out
+        assert "submit latency p50=" in out
+
+    def test_cli_status_renders_gateway_section(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runner = _gateway(tmp_path)
+        try:
+            _request(runner.port, "POST", "/v1/jobs", {"scenario": "smoke"})
+            assert main(["status", "--root", str(tmp_path)]) == 0
+        finally:
+            runner.stop()
+        out = capsys.readouterr().out
+        assert "gateway: listening on 127.0.0.1:" in out
+        assert "admitted=1" in out
+
+    def test_cli_status_omits_gateway_section_without_heartbeat(self, tmp_path, capsys):
+        from repro.cli import main
+
+        submit_job(tmp_path, "smoke")
+        assert main(["status", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gateway:" not in out and "gateway traffic:" not in out
